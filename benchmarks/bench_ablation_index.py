@@ -1,0 +1,19 @@
+"""Ablation A3 — inverted-file back ends.
+
+The paper stores the inverted file in a disk-resident B+-tree; the
+reproduction defaults to an in-memory index for benchmarks.  This
+ablation quantifies the gap (postings-lookup latency, buffer hit rate).
+"""
+
+from _helpers import emit_figure
+from repro.bench.experiments import ablation_disk_index
+
+
+def test_emit_figure(benchmark):
+    """Probe both back ends and save the comparison."""
+    result = emit_figure(benchmark, ablation_disk_index)
+    memory_us = result.series["in-memory"][0]
+    disk_us = result.series["disk B+-tree"][0]
+    assert memory_us > 0 and disk_us > 0
+    hit_rate = result.series["disk B+-tree"][1]
+    assert 0.0 <= hit_rate <= 100.0

@@ -1,0 +1,41 @@
+"""Ablation A1 — the two optimisation strategies of Section 3.2.
+
+The paper states (Section 4.2.1): "Without employing the optimization
+strategies, both algorithms will be 3-5 times slower."  This ablation
+turns each strategy off independently for OSScaling and BucketBound.
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import ablation_opt_strategies, cell_summary
+from repro.bench.workloads import flickr_workload
+
+CONFIGS = {
+    "both": {"use_strategy1": True, "use_strategy2": True},
+    "s1-only": {"use_strategy1": True, "use_strategy2": False},
+    "s2-only": {"use_strategy1": False, "use_strategy2": True},
+    "none": {"use_strategy1": False, "use_strategy2": False},
+}
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("algorithm", ("osscaling", "bucketbound"))
+def test_cell(benchmark, algorithm, config):
+    """One algorithm with one strategy configuration."""
+    workload = flickr_workload()
+    params = dict(CONFIGS[config])
+    if algorithm == "bucketbound":
+        params["beta"] = 1.2
+    summary = benchmark.pedantic(
+        lambda: cell_summary(workload, algorithm, 6, 6.0, epsilon=0.5, **params),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.total > 0
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the strategy-ablation series."""
+    result = emit_figure(benchmark, ablation_opt_strategies)
+    assert "OSScaling" in result.series and "BucketBound" in result.series

@@ -1,0 +1,33 @@
+"""Figure 4 — runtime vs number of query keywords (Flickr graph).
+
+Expected shape (paper Section 4.2.1): OSScaling slowest, BucketBound
+clearly faster, Greedy-2 next, Greedy-1 fastest; runtime grows moderately
+with the keyword count thanks to the two optimisation strategies.
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import fig04_runtime_vs_keywords, named_cell
+from repro.bench.workloads import KEYWORD_COUNTS, flickr_workload
+
+ALGORITHMS = ("OSScaling", "BucketBound", "Greedy-2", "Greedy-1")
+
+
+@pytest.mark.parametrize("num_keywords", KEYWORD_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_cell(benchmark, algorithm, num_keywords):
+    """One (algorithm, #keywords) cell at the representative Delta=6 km."""
+    workload = flickr_workload()
+    summary = benchmark.pedantic(
+        lambda: named_cell(workload, algorithm, num_keywords, 6.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.total > 0
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the full Figure-4 series (all Delta averages)."""
+    result = emit_figure(benchmark, fig04_runtime_vs_keywords)
+    assert set(result.series) == set(ALGORITHMS)

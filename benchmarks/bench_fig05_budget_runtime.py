@@ -1,0 +1,33 @@
+"""Figure 5 — runtime vs budget limit Delta (Flickr graph).
+
+Expected shape: OSScaling's runtime peaks at moderate Delta (small Delta
+prunes aggressively, large Delta finds feasible routes earlier); the
+other algorithms barely react to Delta.
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import fig05_runtime_vs_budget, named_cell
+from repro.bench.workloads import FLICKR_DELTAS, flickr_workload
+
+ALGORITHMS = ("OSScaling", "BucketBound", "Greedy-2", "Greedy-1")
+
+
+@pytest.mark.parametrize("delta", FLICKR_DELTAS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_cell(benchmark, algorithm, delta):
+    """One (algorithm, Delta) cell at the representative 6 keywords."""
+    workload = flickr_workload()
+    summary = benchmark.pedantic(
+        lambda: named_cell(workload, algorithm, 6, delta),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.total > 0
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the full Figure-5 series (keyword averages)."""
+    result = emit_figure(benchmark, fig05_runtime_vs_budget)
+    assert set(result.series) == set(ALGORITHMS)

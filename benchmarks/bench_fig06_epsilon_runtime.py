@@ -1,0 +1,30 @@
+"""Figure 6 — OSScaling runtime vs the scaling parameter epsilon.
+
+Expected shape: runtime decreases as eps grows (coarser scaled scores
+mean more domination pruning; Lemma 1's per-node label bound shrinks
+linearly in 1/eps).
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import EPSILONS, cell_summary, fig06_runtime_vs_epsilon
+from repro.bench.workloads import flickr_workload
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_cell(benchmark, epsilon):
+    """OSScaling over the (6 keywords, Delta=6) set at one epsilon."""
+    workload = flickr_workload()
+    summary = benchmark.pedantic(
+        lambda: cell_summary(workload, "osscaling", 6, 6.0, epsilon=epsilon),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.total > 0
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-6 series."""
+    result = emit_figure(benchmark, fig06_runtime_vs_epsilon)
+    assert list(result.xs) == list(EPSILONS)

@@ -1,0 +1,19 @@
+"""Figure 7 — OSScaling relative ratio vs epsilon.
+
+Expected shape: the ratio (base: eps=0.1) degrades as eps grows but stays
+far below the worst-case bound 1/(1-eps) (Theorem 2).
+"""
+
+from _helpers import emit_figure
+from repro.bench.experiments import EPSILONS, fig07_ratio_vs_epsilon
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-7 series; sanity-check Theorem 2."""
+    result = emit_figure(benchmark, fig07_ratio_vs_epsilon)
+    for eps, ratio in zip(result.xs, result.series["OSScaling"]):
+        if ratio == ratio:  # skip NaN (no mutually feasible queries)
+            # The relative ratio against the eps=0.1 base cannot beat the
+            # combined worst cases of the two runs.
+            assert ratio <= (1.0 / (1.0 - eps)) / (1.0 - 0.1) + 1e-6
+    assert list(result.xs) == list(EPSILONS)

@@ -1,0 +1,31 @@
+"""Figure 8 — BucketBound runtime vs the bucket parameter beta.
+
+Expected shape: runtime decreases as beta grows (wider buckets mean the
+frontier reaches the candidate's bucket sooner).
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import BETAS, cell_summary, fig08_runtime_vs_beta
+from repro.bench.workloads import flickr_workload
+
+
+@pytest.mark.parametrize("beta", BETAS)
+def test_cell(benchmark, beta):
+    """BucketBound over the (6 keywords, Delta=6) set at one beta."""
+    workload = flickr_workload()
+    summary = benchmark.pedantic(
+        lambda: cell_summary(
+            workload, "bucketbound", 6, 6.0, epsilon=0.5, beta=beta
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.total > 0
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-8 series."""
+    result = emit_figure(benchmark, fig08_runtime_vs_beta)
+    assert list(result.xs) == list(BETAS)

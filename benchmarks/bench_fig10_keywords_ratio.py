@@ -1,0 +1,19 @@
+"""Figure 10 — relative ratio vs number of query keywords.
+
+Expected shape: BucketBound's ratio stays below beta = 1.2 and beats both
+greedy variants; Greedy-2 beats Greedy-1.
+"""
+
+from _helpers import emit_figure
+from repro.bench.experiments import fig10_ratio_vs_keywords
+from repro.bench.workloads import KEYWORD_COUNTS
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-10 series."""
+    result = emit_figure(benchmark, fig10_ratio_vs_keywords)
+    assert list(result.xs) == list(KEYWORD_COUNTS)
+    assert set(result.series) == {"BucketBound", "Greedy-2", "Greedy-1"}
+    for ratio in result.series["BucketBound"]:
+        if ratio == ratio:
+            assert ratio < 1.2 / (1.0 - 0.5) + 1e-6

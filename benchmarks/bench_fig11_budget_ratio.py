@@ -1,0 +1,16 @@
+"""Figure 11 — relative ratio vs budget limit Delta.
+
+Expected shape: same ordering as Figure 10 (BucketBound best, then
+Greedy-2, then Greedy-1) across the whole Delta sweep.
+"""
+
+from _helpers import emit_figure
+from repro.bench.experiments import fig11_ratio_vs_budget
+from repro.bench.workloads import FLICKR_DELTAS
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-11 series."""
+    result = emit_figure(benchmark, fig11_ratio_vs_budget)
+    assert list(result.xs) == list(FLICKR_DELTAS)
+    assert set(result.series) == {"BucketBound", "Greedy-2", "Greedy-1"}

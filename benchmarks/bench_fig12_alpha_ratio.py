@@ -1,0 +1,17 @@
+"""Figure 12 — greedy relative ratio vs alpha.
+
+Expected shape: the ratio worsens as alpha grows (budget-driven node
+selection sacrifices objective quality); Greedy-2 consistently beats
+Greedy-1.  The x-axis uses the paper's experimental alpha semantics
+(DESIGN.md documents the Equation-1 sign discrepancy).
+"""
+
+from _helpers import emit_figure
+from repro.bench.experiments import ALPHAS, fig12_ratio_vs_alpha
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-12 series."""
+    result = emit_figure(benchmark, fig12_ratio_vs_alpha)
+    assert list(result.xs) == list(ALPHAS)
+    assert set(result.series) == {"Greedy-1", "Greedy-2"}

@@ -1,0 +1,17 @@
+"""Figure 13 — greedy failure percentage vs alpha.
+
+Expected shape: failures drop as alpha grows (budget-driven selection
+keeps routes feasible); Greedy-2 fails less than Greedy-1 at every alpha.
+"""
+
+from _helpers import emit_figure
+from repro.bench.experiments import ALPHAS, fig13_failure_vs_alpha
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-13 series."""
+    result = emit_figure(benchmark, fig13_failure_vs_alpha)
+    assert list(result.xs) == list(ALPHAS)
+    for series in result.series.values():
+        for value in series:
+            assert 0.0 <= value <= 100.0

@@ -1,0 +1,48 @@
+"""Figure 14 — runtime when both algorithms share a theoretical bound.
+
+For a target bound r, OSScaling runs at eps = 1 - 1/r and BucketBound at
+beta = 1.2, eps = 1 - 1.2/r.  Expected shape: BucketBound consistently
+faster than OSScaling over all bounds.
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import (
+    EQUAL_BOUNDS,
+    cell_summary,
+    fig14_runtime_equal_bound,
+)
+from repro.bench.workloads import flickr_workload
+
+
+@pytest.mark.parametrize("bound", EQUAL_BOUNDS)
+def test_cell_osscaling(benchmark, bound):
+    """OSScaling at the epsilon matching one theoretical bound."""
+    workload = flickr_workload()
+    summary = benchmark.pedantic(
+        lambda: cell_summary(workload, "osscaling", 6, 6.0, epsilon=1.0 - 1.0 / bound),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.total > 0
+
+
+@pytest.mark.parametrize("bound", EQUAL_BOUNDS)
+def test_cell_bucketbound(benchmark, bound):
+    """BucketBound at the epsilon matching the same bound (beta = 1.2)."""
+    workload = flickr_workload()
+    summary = benchmark.pedantic(
+        lambda: cell_summary(
+            workload, "bucketbound", 6, 6.0, epsilon=1.0 - 1.2 / bound, beta=1.2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.total > 0
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-14 series."""
+    result = emit_figure(benchmark, fig14_runtime_equal_bound)
+    assert list(result.xs) == list(EQUAL_BOUNDS)

@@ -1,0 +1,15 @@
+"""Figure 15 — relative ratio when both algorithms share a bound.
+
+Expected shape: OSScaling always achieves the better (smaller) measured
+ratio, the flip side of Figure 14's runtime advantage for BucketBound.
+"""
+
+from _helpers import emit_figure
+from repro.bench.experiments import EQUAL_BOUNDS, fig15_ratio_equal_bound
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-15 series."""
+    result = emit_figure(benchmark, fig15_ratio_equal_bound)
+    assert list(result.xs) == list(EQUAL_BOUNDS)
+    assert set(result.series) == {"OSScaling", "BucketBound"}

@@ -1,0 +1,38 @@
+"""Figure 16 — KkR (top-k) runtime vs k.
+
+Expected shape: both algorithms slow down as k grows (k-domination keeps
+more labels alive); BucketBound stays faster than OSScaling.
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import TOPK_KS, fig16_topk_runtime
+from repro.bench.workloads import flickr_workload
+
+
+@pytest.mark.parametrize("k", TOPK_KS)
+@pytest.mark.parametrize("algorithm", ("osscaling", "bucketbound"))
+def test_cell(benchmark, algorithm, k):
+    """One top-k run over the (6 keywords, Delta=6) query set."""
+    workload = flickr_workload()
+    queries = workload.query_set(6, 6.0)
+
+    def run():
+        for query in queries:
+            workload.engine.top_k(
+                query.source,
+                query.target,
+                query.keywords,
+                query.budget_limit,
+                k=k,
+                algorithm=algorithm,
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-16 series."""
+    result = emit_figure(benchmark, fig16_topk_runtime)
+    assert list(result.xs) == list(TOPK_KS)

@@ -1,0 +1,35 @@
+"""Figure 17 — scalability: runtime vs road-network size.
+
+Expected shape: all four algorithms scale smoothly with the node count
+and keep their ordering (OSScaling slowest ... Greedy-1 fastest).
+DESIGN.md documents the size substitution (paper: 5k-20k DIMACS
+subgraphs; default here: 1k-6k synthetic road networks, with
+KOR_BENCH_SCALE=paper restoring the published sizes).
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import fig17_scalability, named_cell
+from repro.bench.workloads import road_sizes, road_workload
+
+ALGORITHMS = ("OSScaling", "BucketBound", "Greedy-2", "Greedy-1")
+
+
+@pytest.mark.parametrize("num_nodes", road_sizes())
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_cell(benchmark, algorithm, num_nodes):
+    """One (algorithm, graph size) cell at 6 keywords."""
+    workload = road_workload(num_nodes)
+    summary = benchmark.pedantic(
+        lambda: named_cell(workload, algorithm, 6, workload.default_delta),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.total > 0
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-17 series."""
+    result = emit_figure(benchmark, fig17_scalability)
+    assert list(result.xs) == list(road_sizes())

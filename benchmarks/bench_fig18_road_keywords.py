@@ -1,0 +1,32 @@
+"""Figure 18 — runtime vs number of keywords on the road network.
+
+Expected shape: consistent with Figure 4 (same ordering of the four
+algorithms) on the synthetic road dataset instead of the Flickr graph.
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import fig18_road_runtime_vs_keywords, named_cell
+from repro.bench.workloads import KEYWORD_COUNTS, road_default_size, road_workload
+
+ALGORITHMS = ("OSScaling", "BucketBound", "Greedy-2", "Greedy-1")
+
+
+@pytest.mark.parametrize("num_keywords", KEYWORD_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_cell(benchmark, algorithm, num_keywords):
+    """One (algorithm, #keywords) cell on the default road graph."""
+    workload = road_workload(road_default_size())
+    summary = benchmark.pedantic(
+        lambda: named_cell(workload, algorithm, num_keywords, workload.default_delta),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.total > 0
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-18 series."""
+    result = emit_figure(benchmark, fig18_road_runtime_vs_keywords)
+    assert list(result.xs) == list(KEYWORD_COUNTS)

@@ -1,0 +1,31 @@
+"""Figure 19 — runtime vs budget limit Delta on the road network.
+
+Expected shape: consistent with Figure 5 on the road dataset.
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import fig19_road_runtime_vs_budget, named_cell
+from repro.bench.workloads import ROAD_DELTAS, road_default_size, road_workload
+
+ALGORITHMS = ("OSScaling", "BucketBound", "Greedy-2", "Greedy-1")
+
+
+@pytest.mark.parametrize("delta", ROAD_DELTAS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_cell(benchmark, algorithm, delta):
+    """One (algorithm, Delta) cell on the default road graph."""
+    workload = road_workload(road_default_size())
+    summary = benchmark.pedantic(
+        lambda: named_cell(workload, algorithm, 6, delta),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.total > 0
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the Figure-19 series."""
+    result = emit_figure(benchmark, fig19_road_runtime_vs_budget)
+    assert list(result.xs) == list(ROAD_DELTAS)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper's evaluation into results/.
+
+Usage::
+
+    python benchmarks/run_all.py [--only fig04,fig09] [--results DIR]
+
+Environment knobs (see repro.bench.workloads): KOR_BENCH_QUERIES sets the
+queries per set (default 12; the paper uses 50), KOR_BENCH_SCALE one of
+small / default / paper.
+
+Each experiment saves <figure>.json + <figure>.txt and prints its table;
+the paper-vs-measured comparison lives in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.experiments import all_experiments
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        default="",
+        help="comma-separated figure prefixes to run (e.g. fig04,fig09)",
+    )
+    parser.add_argument(
+        "--results",
+        default=None,
+        help="output directory (default benchmarks/results/<scale>)",
+    )
+    args = parser.parse_args(argv)
+    wanted = [token for token in args.only.split(",") if token]
+
+    if args.results is not None:
+        results_dir = Path(args.results)
+    else:
+        from repro.bench.workloads import bench_scale
+
+        results_dir = Path(__file__).parent / "results" / bench_scale()
+    results_dir.mkdir(parents=True, exist_ok=True)
+
+    total_begin = time.perf_counter()
+    for experiment in all_experiments():
+        name = experiment.__name__
+        if wanted and not any(name.startswith(prefix) for prefix in wanted):
+            continue
+        begin = time.perf_counter()
+        result = experiment()
+        elapsed = time.perf_counter() - begin
+        result.save(results_dir)
+        print(result.to_table())
+        print(f"[{name}: {elapsed:.1f}s]\n")
+    print(f"total: {time.perf_counter() - total_begin:.1f}s -> {results_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

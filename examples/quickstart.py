@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: build a tiny city graph and answer one KOR query.
+
+The scenario is the paper's introduction: "find the most popular route to
+and from my hotel such that it passes by shopping mall, restaurant, and
+pub, and the time spent on the road is within 4 hours."
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.engine import KOREngine
+from repro.graph.builder import GraphBuilder
+
+
+def build_city():
+    """Eight locations; edge objective = unpopularity, budget = hours."""
+    builder = GraphBuilder()
+    hotel = builder.add_node(keywords=["hotel"], name="hotel")
+    mall = builder.add_node(keywords=["shopping mall"], name="mall")
+    diner = builder.add_node(keywords=["restaurant"], name="diner")
+    pub = builder.add_node(keywords=["pub"], name="pub")
+    park = builder.add_node(keywords=["park"], name="park")
+    square = builder.add_node(keywords=[], name="square")
+
+    # add_bidirectional_edge(u, v, objective, budget): objective is
+    # log(1/popularity) — smaller is more popular; budget is hours.
+    builder.add_bidirectional_edge(hotel, square, 0.5, 0.4)
+    builder.add_bidirectional_edge(square, mall, 0.6, 0.5)
+    builder.add_bidirectional_edge(square, diner, 1.2, 0.3)
+    builder.add_bidirectional_edge(mall, diner, 0.8, 0.6)
+    builder.add_bidirectional_edge(diner, pub, 0.7, 0.5)
+    builder.add_bidirectional_edge(pub, park, 1.5, 0.7)
+    builder.add_bidirectional_edge(park, hotel, 0.9, 0.8)
+    builder.add_bidirectional_edge(pub, hotel, 2.5, 1.0)
+    builder.add_bidirectional_edge(mall, park, 2.0, 1.2)
+    return builder.build(), hotel
+
+
+def main():
+    graph, hotel = build_city()
+    print(f"city graph: {graph.num_nodes} locations, {graph.num_edges} arcs")
+
+    # Pre-processing (all-pairs tau/sigma tables + inverted index) happens
+    # once per graph; afterwards queries are cheap.
+    engine = KOREngine(graph)
+
+    result = engine.query(
+        source=hotel,
+        target=hotel,
+        keywords=["shopping mall", "restaurant", "pub"],
+        budget_limit=4.0,  # hours
+        algorithm="osscaling",
+        epsilon=0.5,
+    )
+
+    if not result.feasible:
+        print(f"no feasible route: {result.failure_reason}")
+        return
+
+    print("\nmost popular route covering mall, restaurant and pub within 4h:")
+    print(" ", result.route.describe(graph))
+    print(f"  covers: {sorted(result.route.covered_keyword_strings(graph))}")
+
+    # Tighten the budget and watch the route change (cf. Figures 20-21).
+    tighter = engine.query(hotel, hotel, ["shopping mall", "restaurant", "pub"], 2.5)
+    if tighter.feasible:
+        print("\nwith only 2.5h the best route becomes:")
+        print(" ", tighter.route.describe(graph))
+    else:
+        print(f"\nwith only 2.5h: {tighter.failure_reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 4).
+
+The package splits into four layers:
+
+* :mod:`repro.bench.workloads` — cached datasets, engines and query sets
+  (building the Flickr-like graph and its all-pairs tables takes seconds;
+  every experiment shares one copy);
+* :mod:`repro.bench.harness` — timing/aggregation primitives: run one
+  algorithm over one query set, compute relative ratios and failure rates;
+* :mod:`repro.bench.experiments` — one function per paper figure
+  (Figures 4-19) plus the ablations called out in DESIGN.md, each
+  returning an :class:`~repro.bench.experiments.ExperimentResult`;
+* :mod:`repro.bench.reporting` — fixed-width text / markdown / JSON
+  emitters for the result series.
+
+``python benchmarks/run_all.py`` regenerates every figure into
+``results/``; ``pytest benchmarks/ --benchmark-only`` runs the
+pytest-benchmark harness over representative cells.
+"""
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.harness import QueryOutcome, RunSummary, run_query_set
+from repro.bench.workloads import Workload, flickr_workload, road_workload
+
+__all__ = [
+    "ExperimentResult",
+    "QueryOutcome",
+    "RunSummary",
+    "Workload",
+    "flickr_workload",
+    "road_workload",
+    "run_query_set",
+]

@@ -1,0 +1,38 @@
+"""The paper's contribution: KOR queries and the three algorithms."""
+
+from repro.core.bruteforce import branch_and_bound, exhaustive_search
+from repro.core.bucketbound import bucket_bound
+from repro.core.engine import ALGORITHMS, KOREngine
+from repro.core.greedy import greedy
+from repro.core.label import Label, LabelStore, label_sort_key
+from repro.core.osscaling import os_scaling
+from repro.core.query import KORQuery, QueryBinding
+from repro.core.results import KkRResult, KORResult, SearchStats, SearchTrace, TraceEvent
+from repro.core.route import Route
+from repro.core.scaling import ScalingContext
+from repro.core.topk import TopKCollector, bucket_bound_top_k, os_scaling_top_k
+
+__all__ = [
+    "ALGORITHMS",
+    "KOREngine",
+    "KORQuery",
+    "KORResult",
+    "KkRResult",
+    "Label",
+    "LabelStore",
+    "QueryBinding",
+    "Route",
+    "ScalingContext",
+    "SearchStats",
+    "SearchTrace",
+    "TopKCollector",
+    "TraceEvent",
+    "branch_and_bound",
+    "bucket_bound",
+    "bucket_bound_top_k",
+    "exhaustive_search",
+    "greedy",
+    "label_sort_key",
+    "os_scaling",
+    "os_scaling_top_k",
+]

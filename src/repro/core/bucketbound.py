@@ -1,0 +1,293 @@
+"""BucketBound — the paper's second approximation algorithm (Algorithm 2).
+
+Labels are organised in geometric *buckets* over their best possible
+completion score ``LOW(L) = L.OS + OS(tau_{i,t})`` (Lemma 3): bucket
+``B_r`` covers ``[beta^r * OS(tau_{s,t}), beta^{r+1} * OS(tau_{s,t}))``
+(Definition 9).  The search always draws from the lowest non-empty bucket;
+once a feasible route is found whose label sits in that same bucket, the
+route provably shares a bucket with OSScaling's answer (Lemma 5), so the
+algorithm stops immediately with approximation ratio ``beta / (1 - eps)``
+(Theorem 3).
+
+Deviations from the pseudocode, both documented in DESIGN.md: budget
+comparisons use ``<= Delta`` (Definition 4's semantics), and the Lemma-5
+termination test also runs when an all-covering label is *dequeued* from
+the current bucket (the pseudocode only tests at generation time; by then
+its bucket may not yet have been the lowest non-empty one, and the lemma's
+precondition holds at dequeue just as well).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+
+from repro.core.label import VIA_EDGE, VIA_JUMP, Label, LabelStore, label_sort_key
+from repro.core.query import KORQuery
+from repro.core.results import KORResult, SearchStats, SearchTrace
+from repro.core.scaling import ScalingContext
+from repro.core.searchbase import SearchContext
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.index.inverted import InvertedIndex
+from repro.prep.tables import CostTables
+
+__all__ = ["bucket_bound", "BucketQueue"]
+
+
+class BucketQueue:
+    """Labels grouped in geometric buckets, each an order-8 min-heap.
+
+    ``bucket_index`` maps ``LOW`` values to bucket numbers relative to the
+    base score ``OS(tau_{s,t})``; drawing always happens from the lowest
+    non-empty bucket (Algorithm 2 line 6).
+    """
+
+    def __init__(self, base: float, beta: float) -> None:
+        if not beta > 1.0:
+            raise ValueError(f"beta must be > 1, got {beta}")
+        if not (base > 0.0 and math.isfinite(base)):
+            raise ValueError(f"bucket base must be positive and finite, got {base}")
+        self._base = base
+        self._log_beta = math.log(beta)
+        self._buckets: dict[int, list[tuple[tuple[int, float, float, int], Label]]] = {}
+        self._ids: list[int] = []  # heap of bucket numbers, lazily pruned
+        self._opened = 0
+
+    def bucket_index(self, low: float) -> int:
+        """Definition 9's bucket number for a ``LOW`` value."""
+        if low <= self._base:
+            return 0
+        return int(math.floor(math.log(low / self._base) / self._log_beta + 1e-12))
+
+    def push(self, label: Label, low: float) -> int:
+        """File *label* under its bucket; returns the bucket number."""
+        index = self.bucket_index(low)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = []
+            self._buckets[index] = bucket
+            heapq.heappush(self._ids, index)
+            self._opened += 1
+        heapq.heappush(bucket, (label_sort_key(label), label))
+        return index
+
+    def pop(self) -> tuple[int, Label] | None:
+        """Remove and return ``(bucket_number, label)`` from the lowest
+        non-empty bucket, skipping labels evicted by domination; ``None``
+        when everything is exhausted (Algorithm 2 line 7)."""
+        while self._ids:
+            index = self._ids[0]
+            bucket = self._buckets.get(index)
+            while bucket:
+                _key, label = heapq.heappop(bucket)
+                if label.alive:
+                    return index, label
+            # Bucket ran dry: retire its id (it may be re-opened by push).
+            heapq.heappop(self._ids)
+            self._buckets.pop(index, None)
+        return None
+
+    def peek_bucket(self) -> int | None:
+        """Bucket number the next :meth:`pop` would draw from (None = empty).
+
+        Dead labels are drained lazily so the answer is exact.
+        """
+        while self._ids:
+            index = self._ids[0]
+            bucket = self._buckets.get(index)
+            while bucket and not bucket[0][1].alive:
+                heapq.heappop(bucket)
+            if bucket:
+                return index
+            heapq.heappop(self._ids)
+            self._buckets.pop(index, None)
+        return None
+
+    @property
+    def buckets_opened(self) -> int:
+        """How many distinct buckets were materialised (for stats)."""
+        return self._opened
+
+
+def bucket_bound(
+    graph: SpatialKeywordGraph,
+    tables: CostTables,
+    index: InvertedIndex,
+    query: KORQuery,
+    epsilon: float = 0.5,
+    beta: float = 1.2,
+    use_strategy1: bool = True,
+    use_strategy2: bool = True,
+    infrequent_threshold: float = 0.01,
+    trace: SearchTrace | None = None,
+) -> KORResult:
+    """Answer *query* with Algorithm 2 (approximation ratio ``beta/(1-eps)``)."""
+    start = time.perf_counter()
+    stats = SearchStats()
+    scaling = ScalingContext.for_query(graph, query.budget_limit, epsilon)
+    ctx = SearchContext(
+        graph, tables, index, query, scaling, infrequent_threshold=infrequent_threshold
+    )
+
+    reason = ctx.impossibility_reason()
+    if reason is not None:
+        stats.runtime_seconds = time.perf_counter() - start
+        return KORResult(
+            query=query,
+            algorithm="bucketbound",
+            route=None,
+            covers_keywords=False,
+            within_budget=False,
+            stats=stats,
+            failure_reason=reason,
+        )
+
+    delta = query.budget_limit
+    full_mask = ctx.binding.full_mask
+    source = query.source
+
+    root = ctx.root_label()
+    if root.mask == full_mask and ctx.bs_tau_t_list[source] <= delta:
+        route = ctx.materialize(root)
+        stats.runtime_seconds = time.perf_counter() - start
+        return KORResult(
+            query=query,
+            algorithm="bucketbound",
+            route=route,
+            covers_keywords=True,
+            within_budget=True,
+            stats=stats,
+        )
+
+    base = float(ctx.os_tau_t_list[source])
+    if base <= 0.0:
+        # Degenerate only when source == target (OS(tau_{s,s}) = 0); any
+        # positive base keeps Definition 9 well-defined, and o_min is the
+        # smallest LOW any non-trivial completion can have.
+        base = graph.min_objective
+    queue = BucketQueue(base, beta)
+    store = LabelStore(graph.num_nodes)
+    queue.push(root, root.os + ctx.os_tau_t_list[source])
+    store.insert(root)
+    stats.labels_enqueued += 1
+
+    def on_evict(_victim: Label) -> None:
+        stats.labels_evicted += 1
+
+    # The answer candidate.  A label that covers every keyword and whose
+    # tau-completion fits the budget is never extended — tau is its best
+    # completion (Lemma 3) — so it is registered here instead of entering
+    # the queue.  ``best_low`` is the smallest candidate completion score
+    # ``L* = LOW(L)`` seen so far and ``r_hat`` its bucket; once the draw
+    # frontier reaches ``r_hat``, Lemma 5's precondition holds (all lower
+    # buckets empty, feasible route in the current one) and the candidate
+    # is the answer.  Because ``LOW`` is monotone along extensions
+    # (``OS(tau)`` is an admissible completion bound), any label with
+    # ``LOW >= L*`` can neither beat the candidate nor affect termination,
+    # so it is dropped at creation on a single float compare — a strictly
+    # stronger prune than the per-bucket one (anything in a bucket beyond
+    # ``r_hat`` has ``LOW > L*``).  This eager reading of Lemma 5 is where
+    # BucketBound's speed over OSScaling comes from.
+    best_candidate: Label | None = None
+    best_low = float("inf")
+    r_hat = float("inf")
+
+    def consider(parent: Label, node: int, seg_os: float, seg_bs: float, seg_sos: float, via: int) -> None:
+        nonlocal best_candidate, best_low, r_hat
+        stats.labels_created += 1
+        new_mask = parent.mask | ctx.binding.node_mask(node)
+        new_os = parent.os + seg_os
+        new_bs = parent.bs + seg_bs
+        new_sos = parent.scaled_os + seg_sos
+        if trace is not None:
+            trace.record("create", node, new_mask, new_sos, new_os, new_bs)
+
+        if new_bs + ctx.bs_sigma_t_list[node] > delta:
+            stats.labels_pruned_budget += 1
+            if trace is not None:
+                trace.record("prune_budget", node, new_mask, new_sos, new_os, new_bs)
+            return
+        low = new_os + ctx.os_tau_t_list[node]
+        if low >= best_low:
+            stats.labels_pruned_bound += 1
+            if trace is not None:
+                trace.record("prune_bound", node, new_mask, new_sos, new_os, new_bs)
+            return
+        if use_strategy2 and ctx.strategy2_rejects(node, new_mask, new_os, new_bs, best_low):
+            stats.labels_pruned_strategy2 += 1
+            return
+
+        label = Label(node, new_mask, new_sos, new_os, new_bs, parent=parent, via=via)
+        if store.is_dominated(label):
+            stats.labels_pruned_dominated += 1
+            if trace is not None:
+                trace.record("prune_dominated", node, new_mask, new_sos, new_os, new_bs)
+            return
+
+        if new_mask == full_mask and new_bs + ctx.bs_tau_t_list[node] <= delta:
+            # Feasible tau-completion: a new best candidate (low < best_low
+            # is guaranteed by the prune above).
+            best_candidate, best_low = label, low
+            r_hat = queue.bucket_index(low)
+            stats.bound_updates += 1
+            if trace is not None:
+                trace.record("bound_update", node, new_mask, new_sos, new_os, new_bs, low)
+            return
+
+        queue.push(label, low)
+        store.insert(label, on_evict)
+        stats.labels_enqueued += 1
+        if trace is not None:
+            trace.record("enqueue", node, new_mask, new_sos, new_os, new_bs, low)
+
+    while True:
+        frontier = queue.peek_bucket()
+        if frontier is None or frontier >= r_hat:
+            # Lemma 5: every bucket below r_hat is empty and bucket r_hat
+            # holds a feasible route — or the queue is exhausted.
+            break
+        _bucket, label = queue.pop()  # == frontier
+        stats.loops += 1
+        if trace is not None:
+            trace.record("dequeue", label.node, label.mask, label.scaled_os, label.os, label.bs)
+        if label.os + ctx.os_tau_t_list[label.node] >= best_low:
+            # Filed before the current candidate existed; stale now.
+            continue
+
+        for node, seg_os, seg_bs, seg_sos in ctx.scaled_out(label.node):
+            consider(label, node, seg_os, seg_bs, seg_sos, VIA_EDGE)
+        if use_strategy1 and label.mask != full_mask:
+            jump = ctx.jump_candidate(label)
+            if jump is not None:
+                vj, seg_os, seg_bs = jump
+                stats.jump_labels_created += 1
+                consider(label, vj, seg_os, seg_bs, ctx.scaling.scale(seg_os), VIA_JUMP)
+
+    if best_candidate is None:
+        stats.buckets_opened = queue.buckets_opened
+        stats.runtime_seconds = time.perf_counter() - start
+        return KORResult(
+            query=query,
+            algorithm="bucketbound",
+            route=None,
+            covers_keywords=False,
+            within_budget=False,
+            stats=stats,
+            failure_reason="no feasible route exists",
+        )
+
+    found = best_candidate
+    if trace is not None:
+        trace.record("found", found.node, found.mask, found.scaled_os, found.os, found.bs, best_low)
+    route = ctx.materialize(found)
+    stats.buckets_opened = queue.buckets_opened
+    stats.runtime_seconds = time.perf_counter() - start
+    return KORResult(
+        query=query,
+        algorithm="bucketbound",
+        route=route,
+        covers_keywords=True,
+        within_budget=route.budget_score <= delta + 1e-9,
+        stats=stats,
+    )

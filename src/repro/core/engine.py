@@ -1,0 +1,139 @@
+"""The KOR engine — one-stop facade over the whole system.
+
+Build it once per graph (pre-processing the tau/sigma tables and the
+inverted index), then answer any number of KOR / KkR queries with any of
+the paper's algorithms::
+
+    engine = KOREngine(graph)
+    result = engine.query(source=0, target=7, keywords=["pub", "mall"],
+                          budget_limit=8.0, algorithm="bucketbound")
+    if result.feasible:
+        print(result.route.describe(graph))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.bruteforce import branch_and_bound, exhaustive_search
+from repro.core.bucketbound import bucket_bound
+from repro.core.greedy import greedy
+from repro.core.osscaling import os_scaling
+from repro.core.query import KORQuery
+from repro.core.results import KkRResult, KORResult
+from repro.core.topk import bucket_bound_top_k, os_scaling_top_k
+from repro.exceptions import QueryError
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.index.inverted import InvertedIndex
+from repro.prep.tables import CostTables
+
+__all__ = ["KOREngine", "ALGORITHMS"]
+
+#: Names accepted by :meth:`KOREngine.query`.
+ALGORITHMS = (
+    "osscaling",
+    "bucketbound",
+    "greedy",
+    "greedy2",
+    "exact",
+    "exhaustive",
+)
+
+
+class KOREngine:
+    """Pre-processed graph + dispatch to every algorithm in the paper."""
+
+    def __init__(
+        self,
+        graph: SpatialKeywordGraph,
+        tables: CostTables | None = None,
+        index: InvertedIndex | None = None,
+        prep_method: str = "auto",
+        predecessors: bool = True,
+    ) -> None:
+        self._graph = graph
+        self._tables = (
+            tables
+            if tables is not None
+            else CostTables.from_graph(graph, method=prep_method, predecessors=predecessors)
+        )
+        self._index = index if index is not None else InvertedIndex.from_graph(graph)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> SpatialKeywordGraph:
+        """The underlying spatial-keyword graph."""
+        return self._graph
+
+    @property
+    def tables(self) -> CostTables:
+        """The pre-processed tau/sigma cost tables."""
+        return self._tables
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The inverted keyword index."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source: int,
+        target: int,
+        keywords: Iterable[str],
+        budget_limit: float,
+        algorithm: str = "bucketbound",
+        **params,
+    ) -> KORResult:
+        """Answer one KOR query.
+
+        ``algorithm`` is one of :data:`ALGORITHMS`; ``params`` are passed
+        through (``epsilon``, ``beta``, ``alpha``, ``width``, ``mode``,
+        ``use_strategy1``, ``use_strategy2``, ``trace``...).
+        """
+        query = KORQuery(source, target, tuple(keywords), budget_limit)
+        return self.run(query, algorithm=algorithm, **params)
+
+    def run(self, query: KORQuery, algorithm: str = "bucketbound", **params) -> KORResult:
+        """Answer a pre-built :class:`KORQuery`."""
+        graph, tables, index = self._graph, self._tables, self._index
+        if algorithm == "osscaling":
+            return os_scaling(graph, tables, index, query, **params)
+        if algorithm == "bucketbound":
+            return bucket_bound(graph, tables, index, query, **params)
+        if algorithm == "greedy":
+            return greedy(graph, tables, index, query, **params)
+        if algorithm == "greedy2":
+            params.setdefault("width", 2)
+            return greedy(graph, tables, index, query, **params)
+        if algorithm == "exact":
+            return branch_and_bound(graph, tables, index, query, **params)
+        if algorithm == "exhaustive":
+            return exhaustive_search(graph, index, query, **params)
+        raise QueryError(
+            f"unknown algorithm {algorithm!r}; expected one of {', '.join(ALGORITHMS)}"
+        )
+
+    def top_k(
+        self,
+        source: int,
+        target: int,
+        keywords: Iterable[str],
+        budget_limit: float,
+        k: int,
+        algorithm: str = "bucketbound",
+        **params,
+    ) -> KkRResult:
+        """Answer one KkR (top-k) query with either approximation algorithm."""
+        query = KORQuery(source, target, tuple(keywords), budget_limit)
+        if algorithm == "osscaling":
+            return os_scaling_top_k(self._graph, self._tables, self._index, query, k, **params)
+        if algorithm == "bucketbound":
+            return bucket_bound_top_k(self._graph, self._tables, self._index, query, k, **params)
+        raise QueryError(
+            f"unknown top-k algorithm {algorithm!r}; expected 'osscaling' or 'bucketbound'"
+        )

@@ -1,0 +1,223 @@
+"""OSScaling — the paper's first approximation algorithm (Algorithm 1).
+
+A label-correcting search on the scaled graph ``G_S``: starting from the
+source label, repeatedly dequeue the label with the lowest order
+(Definition 8) and extend it along every out-edge (label treatment,
+Definition 7).  New labels are pruned when
+
+* they are dominated (on scaled objective!) by a label at the same node,
+* the cheapest completion budget ``BS + BS(sigma_{j,t})`` already exceeds
+  ``Delta``,
+* the best completion objective ``OS + OS(tau_{j,t})`` cannot beat the
+  current upper bound ``U``, or
+* Optimisation Strategy 2's infrequent-keyword detour test fails.
+
+When a new label covers the whole query and its objective-optimal
+completion ``tau_{j,t}`` fits the budget, ``U`` improves and the label
+(with that completion) becomes the incumbent answer; Theorem 2 guarantees
+the returned route's objective is within ``1/(1-eps)`` of optimal.
+
+With ``exact=True`` domination compares true objective scores, which turns
+the search into an exact branch-and-bound (used as the ground-truth
+baseline in :mod:`repro.core.bruteforce`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+from repro.core.label import VIA_EDGE, VIA_JUMP, Label, LabelStore, label_sort_key
+from repro.core.query import KORQuery
+from repro.core.results import KORResult, SearchStats, SearchTrace
+from repro.core.route import Route
+from repro.core.scaling import ScalingContext
+from repro.core.searchbase import SearchContext
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.index.inverted import InvertedIndex
+from repro.prep.tables import CostTables
+
+__all__ = ["os_scaling"]
+
+
+def os_scaling(
+    graph: SpatialKeywordGraph,
+    tables: CostTables,
+    index: InvertedIndex,
+    query: KORQuery,
+    epsilon: float = 0.5,
+    use_strategy1: bool = True,
+    use_strategy2: bool = True,
+    infrequent_threshold: float = 0.01,
+    exact: bool = False,
+    trace: SearchTrace | None = None,
+) -> KORResult:
+    """Answer *query* with Algorithm 1.
+
+    Parameters mirror the paper: ``epsilon`` trades accuracy for speed
+    (Theorem 2 bound ``1/(1-eps)``); the two optimisation strategies can
+    be toggled for ablations.  ``trace`` collects per-label events for the
+    worked-example tests.
+    """
+    start = time.perf_counter()
+    algorithm = "exact" if exact else "osscaling"
+    stats = SearchStats()
+
+    scaling = ScalingContext.for_query(graph, query.budget_limit, epsilon, exact=exact)
+    ctx = SearchContext(
+        graph, tables, index, query, scaling, infrequent_threshold=infrequent_threshold
+    )
+
+    reason = ctx.impossibility_reason()
+    if reason is not None:
+        stats.runtime_seconds = time.perf_counter() - start
+        return KORResult(
+            query=query,
+            algorithm=algorithm,
+            route=None,
+            covers_keywords=False,
+            within_budget=False,
+            stats=stats,
+            failure_reason=reason,
+        )
+
+    delta = query.budget_limit
+    full_mask = ctx.binding.full_mask
+    source = query.source
+
+    root = ctx.root_label()
+    if root.mask == full_mask and ctx.bs_tau_t_list[source] <= delta:
+        # The source (plus the target, via tau's endpoints) already covers
+        # every keyword and the objective-optimal completion fits the
+        # budget: tau_{s,t} is globally objective-optimal, so it is *the*
+        # optimum — no search needed.
+        route = ctx.materialize(root)
+        stats.runtime_seconds = time.perf_counter() - start
+        return KORResult(
+            query=query,
+            algorithm=algorithm,
+            route=route,
+            covers_keywords=True,
+            within_budget=True,
+            stats=stats,
+        )
+
+    upper = float("inf")
+    incumbent: Label | None = None
+    store = LabelStore(graph.num_nodes)
+    heap: list[tuple[tuple[int, float, float, int], Label]] = []
+    heapq.heappush(heap, (label_sort_key(root), root))
+    store.insert(root)
+    stats.labels_enqueued += 1
+
+    def on_evict(_victim: Label) -> None:
+        stats.labels_evicted += 1
+
+    def consider(parent: Label, node: int, seg_os: float, seg_bs: float, seg_sos: float, via: int) -> None:
+        """Label treatment (Definition 7) plus Algorithm 1 line 10 checks."""
+        nonlocal upper, incumbent
+        stats.labels_created += 1
+        new_mask = parent.mask | ctx.binding.node_mask(node)
+        new_os = parent.os + seg_os
+        new_bs = parent.bs + seg_bs
+        new_sos = parent.scaled_os + seg_sos
+        if trace is not None:
+            trace.record("create", node, new_mask, new_sos, new_os, new_bs)
+
+        if new_bs + ctx.bs_sigma_t_list[node] > delta:
+            stats.labels_pruned_budget += 1
+            if trace is not None:
+                trace.record("prune_budget", node, new_mask, new_sos, new_os, new_bs)
+            return
+        if not (new_os + ctx.os_tau_t_list[node] < upper):
+            stats.labels_pruned_bound += 1
+            if trace is not None:
+                trace.record("prune_bound", node, new_mask, new_sos, new_os, new_bs)
+            return
+        if use_strategy2 and ctx.strategy2_rejects(node, new_mask, new_os, new_bs, upper):
+            stats.labels_pruned_strategy2 += 1
+            if trace is not None:
+                trace.record("prune_strategy2", node, new_mask, new_sos, new_os, new_bs)
+            return
+
+        label = Label(node, new_mask, new_sos, new_os, new_bs, parent=parent, via=via)
+        if store.is_dominated(label):
+            stats.labels_pruned_dominated += 1
+            if trace is not None:
+                trace.record("prune_dominated", node, new_mask, new_sos, new_os, new_bs)
+            return
+
+        if new_mask == full_mask:
+            if new_bs + ctx.bs_tau_t_list[node] <= delta:
+                # Feasible completion via tau_{j,t}: update the upper bound
+                # and the incumbent (lines 17-19); the label is consumed —
+                # tau is its best possible completion (Lemma 3), so no
+                # extension of it can improve on the recorded route.
+                upper = new_os + ctx.os_tau_t_list[node]
+                incumbent = label
+                stats.bound_updates += 1
+                if trace is not None:
+                    trace.record("bound_update", node, new_mask, new_sos, new_os, new_bs, upper)
+                return
+            # Covers everything but tau's budget does not fit: keep
+            # searching from it (line 20).
+            heapq.heappush(heap, (label_sort_key(label), label))
+            store.insert(label, on_evict)
+            stats.labels_enqueued += 1
+            if trace is not None:
+                trace.record("enqueue", node, new_mask, new_sos, new_os, new_bs)
+            return
+
+        heapq.heappush(heap, (label_sort_key(label), label))
+        store.insert(label, on_evict)
+        stats.labels_enqueued += 1
+        if trace is not None:
+            trace.record("enqueue", node, new_mask, new_sos, new_os, new_bs)
+
+    while heap:
+        _key, label = heapq.heappop(heap)
+        if not label.alive:
+            continue
+        stats.loops += 1
+        if trace is not None:
+            trace.record("dequeue", label.node, label.mask, label.scaled_os, label.os, label.bs)
+        # Line 7: the label cannot contribute once its admissible completion
+        # exceeds the upper bound.
+        if label.os + ctx.os_tau_t_list[label.node] > upper:
+            continue
+        for node, seg_os, seg_bs, seg_sos in ctx.scaled_out(label.node):
+            consider(label, node, seg_os, seg_bs, seg_sos, VIA_EDGE)
+        if use_strategy1 and label.mask != full_mask:
+            jump = ctx.jump_candidate(label)
+            if jump is not None:
+                vj, seg_os, seg_bs = jump
+                stats.jump_labels_created += 1
+                consider(label, vj, seg_os, seg_bs, ctx.scaling.scale(seg_os), VIA_JUMP)
+
+    stats.runtime_seconds = time.perf_counter() - start
+    if incumbent is None:
+        return KORResult(
+            query=query,
+            algorithm=algorithm,
+            route=None,
+            covers_keywords=False,
+            within_budget=False,
+            stats=stats,
+            failure_reason="no feasible route exists",
+        )
+
+    route = _finish(ctx, incumbent)
+    stats.runtime_seconds = time.perf_counter() - start
+    return KORResult(
+        query=query,
+        algorithm=algorithm,
+        route=route,
+        covers_keywords=True,
+        within_budget=route.budget_score <= delta + 1e-9,
+        stats=stats,
+    )
+
+
+def _finish(ctx: SearchContext, incumbent: Label) -> Route:
+    """Materialise the incumbent's route (label chain + tau completion)."""
+    return ctx.materialize(incumbent)

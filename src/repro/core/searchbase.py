@@ -1,0 +1,265 @@
+"""Shared machinery of the label-correcting searches.
+
+OSScaling (Algorithm 1), BucketBound (Algorithm 2) and their top-k
+variants all share: query binding, per-query scaled edge weights, the two
+optimisation strategies of Section 3.2, and route materialisation from a
+label chain plus a ``tau`` completion.  :class:`SearchContext` packages
+that state so each algorithm module only contains its control flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.label import VIA_EDGE, VIA_JUMP, VIA_ROOT, Label
+from repro.core.query import KORQuery, QueryBinding
+from repro.core.route import Route
+from repro.core.scaling import ScalingContext
+from repro.exceptions import PrepError
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.index.inverted import InvertedIndex
+from repro.prep.tables import CostTables
+
+__all__ = ["SearchContext"]
+
+
+class SearchContext:
+    """Per-query state shared by the label-correcting algorithms."""
+
+    def __init__(
+        self,
+        graph: SpatialKeywordGraph,
+        tables: CostTables,
+        index: InvertedIndex,
+        query: KORQuery,
+        scaling: ScalingContext,
+        infrequent_threshold: float = 0.01,
+    ) -> None:
+        self.graph = graph
+        self.tables = tables
+        self.index = index
+        self.query = query
+        self.scaling = scaling
+        self.binding = QueryBinding.bind(graph, index, query)
+        self.delta = query.budget_limit
+
+        target = query.target
+        #: OS(tau_{i,t}) for every i — the admissible completion bound
+        #: behind Lemma 3's LOW(.) and the U-pruning of Algorithm 1.
+        self.os_tau_t = tables.os_tau_col(target)
+        #: BS(tau_{i,t}) — budget of the objective-optimal completion.
+        self.bs_tau_t = tables.bs_tau_col(target)
+        #: BS(sigma_{i,t}) — the cheapest possible completion budget; a
+        #: label violating ``BS + BS(sigma) <= Delta`` can never be feasible.
+        self.bs_sigma_t = tables.bs_sigma_col(target)
+        # Plain-list twins of the columns above: scalar indexing of numpy
+        # arrays costs ~10x a list lookup, and label creation is the hot
+        # path (hundreds of thousands of lookups per query).
+        self.os_tau_t_list: list[float] = self.os_tau_t.tolist()
+        self.bs_tau_t_list: list[float] = self.bs_tau_t.tolist()
+        self.bs_sigma_t_list: list[float] = self.bs_sigma_t.tolist()
+
+        # Lazy caches ---------------------------------------------------
+        self._scaled_out: dict[int, tuple[tuple[int, float, float, float], ...]] = {}
+        self._uncovered_union: dict[int, np.ndarray] = {}
+
+        # Optimisation Strategy 2 state ----------------------------------
+        self._rare_bit: int | None = None
+        self._rare_nodes: np.ndarray | None = None
+        self._rare_os_to_t: np.ndarray | None = None
+        self._rare_bs_to_t: np.ndarray | None = None
+        self._rare_min_bs: list[float] | None = None
+        self._rare_min_os: list[float] | None = None
+        self._prepare_strategy2(infrequent_threshold)
+
+    # ------------------------------------------------------------------
+    # feasibility screens run before any search loop
+    # ------------------------------------------------------------------
+    def impossibility_reason(self) -> str | None:
+        """A human-readable reason the query is trivially infeasible, or None.
+
+        Checks vocabulary coverage, target reachability and the cheapest
+        conceivable budget ``BS(sigma_{s,t})``.
+        """
+        missing = self.binding.missing_keywords
+        if missing:
+            return f"keywords not present in the graph: {', '.join(sorted(missing))}"
+        source = self.query.source
+        if not np.isfinite(self.os_tau_t[source]):
+            return "target is unreachable from source"
+        if self.bs_sigma_t[source] > self.delta:
+            return (
+                f"cheapest route budget {self.bs_sigma_t[source]:.4g} "
+                f"exceeds the limit {self.delta:.4g}"
+            )
+        return None
+
+    def root_label(self) -> Label:
+        """The initial label at the source (Algorithm 1 line 3)."""
+        source = self.query.source
+        return Label(
+            node=source,
+            mask=self.binding.node_mask(source),
+            scaled_os=0.0,
+            os=0.0,
+            bs=0.0,
+            parent=None,
+            via=VIA_ROOT,
+        )
+
+    # ------------------------------------------------------------------
+    # scaled adjacency
+    # ------------------------------------------------------------------
+    def scaled_out(self, u: int) -> tuple[tuple[int, float, float, float], ...]:
+        """Out-edges of *u* as ``(v, objective, budget, scaled_objective)``.
+
+        Computed lazily per node: most queries touch a small fraction of
+        the graph, so scaling the whole edge set up front would dominate
+        the fast algorithms' runtime.
+        """
+        cached = self._scaled_out.get(u)
+        if cached is None:
+            scale = self.scaling.scale
+            cached = tuple(
+                (v, obj, bud, scale(obj)) for v, obj, bud in self.graph.out_edges(u)
+            )
+            self._scaled_out[u] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Optimisation Strategy 1: jump labels
+    # ------------------------------------------------------------------
+    def jump_candidate(self, label: Label) -> tuple[int, float, float] | None:
+        """Strategy 1's extra label target for *label*, or ``None``.
+
+        Returns ``(vj, OS(sigma_{i,j}), BS(sigma_{i,j}))`` for the node vj
+        that carries an uncovered query keyword, minimises
+        ``BS(sigma_{i,j})``, and still admits a feasible completion:
+        ``label.BS + BS(sigma_{i,j}) + BS(sigma_{j,t}) <= Delta``.
+        """
+        missing = self.binding.full_mask & ~label.mask
+        if not missing:
+            return None
+        nodes = self._uncovered_nodes(missing)
+        if len(nodes) == 0:
+            return None
+        bs_row = self.tables.bs_sigma_row(label.node)
+        seg_bs = bs_row[nodes]
+        feasible = (label.bs + seg_bs + self.bs_sigma_t[nodes]) <= self.delta
+        if not feasible.any():
+            return None
+        candidates = nodes[feasible]
+        seg_bs = seg_bs[feasible]
+        best = int(np.argmin(seg_bs))
+        vj = int(candidates[best])
+        seg_os = float(self.tables.os_sigma_row(label.node)[vj])
+        return vj, seg_os, float(seg_bs[best])
+
+    def _uncovered_nodes(self, missing_mask: int) -> np.ndarray:
+        cached = self._uncovered_union.get(missing_mask)
+        if cached is None:
+            lists = [
+                postings
+                for bit, postings in enumerate(self.binding.nodes_with_bit)
+                if missing_mask & (1 << bit) and len(postings)
+            ]
+            cached = (
+                np.unique(np.concatenate(lists)) if lists else np.empty(0, dtype=np.int64)
+            )
+            self._uncovered_union[missing_mask] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Optimisation Strategy 2: infrequent-keyword pruning
+    # ------------------------------------------------------------------
+    def _prepare_strategy2(self, threshold: float) -> None:
+        vocabulary = self.index.vocabulary
+        rare_bit: int | None = None
+        rare_df = None
+        for bit, kid in enumerate(self.binding.keyword_ids):
+            if kid is None:
+                continue
+            df = vocabulary.document_frequency(kid)
+            if df == 0 or not vocabulary.is_infrequent(kid, threshold):
+                continue
+            if rare_df is None or df < rare_df:
+                rare_bit, rare_df = bit, df
+        if rare_bit is None:
+            return
+        nodes = self.binding.nodes_with_bit[rare_bit]
+        self._rare_bit = rare_bit
+        self._rare_nodes = nodes
+        self._rare_os_to_t = self.os_tau_t[nodes]
+        self._rare_bs_to_t = self.bs_sigma_t[nodes]
+        # Scalar screens, one vectorised pass per query: the cheapest
+        # budget (resp. objective) of any detour through a rare node from
+        # each graph node.  If even the cheapest detour violates a
+        # constraint, the label dies on a float compare instead of a numpy
+        # reduction — that per-label reduction dominated BucketBound's
+        # runtime before this cache existed.
+        bs_via = self.tables.bs_sigma[:, nodes] + self._rare_bs_to_t[None, :]
+        os_via = self.tables.os_tau[:, nodes] + self._rare_os_to_t[None, :]
+        self._rare_min_bs = bs_via.min(axis=1).tolist()
+        self._rare_min_os = os_via.min(axis=1).tolist()
+
+    @property
+    def strategy2_active(self) -> bool:
+        """Whether an infrequent query keyword was found."""
+        return self._rare_bit is not None
+
+    def strategy2_rejects(self, node: int, mask: int, os: float, bs: float, upper: float) -> bool:
+        """Strategy 2's discard test for a freshly created label.
+
+        The label (at *node*, not yet covering the rare keyword) survives
+        only if some rare-keyword node ``l`` admits a detour that stays
+        within both the objective upper bound and the budget:
+        ``os + OS(tau_{node,l}) + OS(tau_{l,t}) <= upper`` and
+        ``bs + BS(sigma_{node,l}) + BS(sigma_{l,t}) <= Delta``.
+
+        Runs in three stages: two sound scalar screens (cheapest detour
+        budget / objective over all rare nodes), then the exact joint test
+        only when an upper bound exists to make it worthwhile.
+        """
+        if self._rare_bit is None or mask & (1 << self._rare_bit):
+            return False
+        if bs + self._rare_min_bs[node] > self.delta:
+            return True
+        if upper == float("inf"):
+            # Without an objective bound the joint test degenerates to the
+            # budget screen above, which already passed.
+            return False
+        if os + self._rare_min_os[node] > upper:
+            return True
+        nodes = self._rare_nodes
+        os_via = os + self.tables.os_tau_row(node)[nodes] + self._rare_os_to_t
+        bs_via = bs + self.tables.bs_sigma_row(node)[nodes] + self._rare_bs_to_t
+        keeps = (os_via <= upper) & (bs_via <= self.delta)
+        return not bool(keeps.any())
+
+    # ------------------------------------------------------------------
+    # route materialisation
+    # ------------------------------------------------------------------
+    def materialize(self, label: Label) -> Route:
+        """Expand a final label into the full route it represents.
+
+        The route is the label's chain (jump labels expand to their
+        ``sigma`` path) followed by the objective-optimal completion
+        ``tau_{label.node, target}`` (Algorithm 1 line 22 / Lemma 3).
+        """
+        nodes: list[int] = []
+        prev: int | None = None
+        for node, via in label.chain_nodes():
+            if via == VIA_ROOT:
+                nodes.append(node)
+            elif via == VIA_EDGE:
+                nodes.append(node)
+            elif via == VIA_JUMP:
+                assert prev is not None
+                nodes.extend(self.tables.sigma_path(prev, node)[1:])
+            else:  # pragma: no cover - defensive
+                raise PrepError(f"unknown label provenance: {via}")
+            prev = node
+        assert prev is not None
+        completion = self.tables.tau_path(prev, self.query.target)
+        nodes.extend(completion[1:])
+        return Route.from_nodes(self.graph, nodes)

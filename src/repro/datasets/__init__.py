@@ -1,0 +1,32 @@
+"""Synthetic workload substrate reproducing the paper's evaluation data."""
+
+from repro.datasets.clustering import Location, cluster_photos
+from repro.datasets.flickr import FlickrConfig, FlickrDataset, build_flickr_graph
+from repro.datasets.photos import (
+    Hotspot,
+    Photo,
+    PhotoStreamConfig,
+    generate_photo_stream,
+)
+from repro.datasets.queries import QuerySetConfig, generate_query_set, generate_query_sets
+from repro.datasets.road import RoadConfig, build_road_graph
+from repro.datasets.tags import POI_WORDS, TagVocabulary
+
+__all__ = [
+    "FlickrConfig",
+    "FlickrDataset",
+    "Hotspot",
+    "Location",
+    "POI_WORDS",
+    "Photo",
+    "PhotoStreamConfig",
+    "QuerySetConfig",
+    "RoadConfig",
+    "TagVocabulary",
+    "build_flickr_graph",
+    "build_road_graph",
+    "cluster_photos",
+    "generate_photo_stream",
+    "generate_query_set",
+    "generate_query_sets",
+]

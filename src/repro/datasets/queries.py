@@ -1,0 +1,183 @@
+"""Benchmark query-set generation (paper Section 4.1).
+
+The paper generates 5 query sets per dataset with 2/4/6/8/10 keywords, 50
+queries each, random start and end locations.  Keywords are sampled from
+the dataset's own vocabulary weighted by document frequency (map-search
+queries use common words far more often than rare ones); sources and
+targets are optionally constrained so the cheapest connecting route fits
+within a fraction of the budget — otherwise most random pairs on a large
+map are trivially infeasible and benchmarks would measure the screening
+code instead of the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.query import KORQuery
+from repro.exceptions import DatasetError
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.index.inverted import InvertedIndex
+from repro.prep.tables import CostTables
+
+__all__ = ["QuerySetConfig", "generate_query_set", "generate_query_sets"]
+
+
+@dataclass
+class QuerySetConfig:
+    """Knobs of the query generator."""
+
+    num_queries: int = 50
+    num_keywords: int = 6
+    budget_limit: float = 6.0
+    #: Require BS(sigma_{s,t}) <= fraction * Delta when tables are given;
+    #: None disables the filter (paper-style fully random endpoints).
+    max_sigma_fraction: float | None = 0.7
+    #: Bias keyword sampling by document frequency (True mirrors query logs).
+    frequency_weighted: bool = True
+    #: Ignore keywords on fewer than this many nodes (df=1 singletons are
+    #: clustering noise and make nearly every query infeasible).
+    min_document_frequency: int = 2
+    #: Require, for every query keyword, some node ``l`` carrying it with
+    #: ``BS(sigma_{s,l}) + BS(sigma_{l,t}) <= Delta`` (a cheap *necessary*
+    #: condition for feasibility; the joint tour may still overrun).  Needs
+    #: tables; keeps benchmark queries from being dominated by trivially
+    #: infeasible draws.
+    screen_keyword_detour: bool = True
+    seed: int = 0
+    #: Give up after this many endpoint rejections per query.
+    max_attempts: int = 500
+
+
+def generate_query_set(
+    graph: SpatialKeywordGraph,
+    index: InvertedIndex,
+    config: QuerySetConfig,
+    tables: CostTables | None = None,
+) -> list[KORQuery]:
+    """Generate one query set per *config*.
+
+    ``tables`` enables the endpoint feasibility filter
+    (``max_sigma_fraction``); without them endpoints are fully random.
+    """
+    rng = np.random.default_rng(config.seed)
+    n = graph.num_nodes
+    if n < 2:
+        raise DatasetError("query generation needs at least two nodes")
+
+    keyword_ids = sorted(
+        kid
+        for kid in range(len(graph.keyword_table))
+        if index.document_frequency(kid) >= config.min_document_frequency
+    )
+    if len(keyword_ids) < config.num_keywords:
+        raise DatasetError(
+            f"graph vocabulary has only {len(keyword_ids)} used keywords, "
+            f"cannot sample {config.num_keywords}"
+        )
+    if config.frequency_weighted:
+        weights = np.asarray(
+            [index.document_frequency(kid) for kid in keyword_ids], dtype=np.float64
+        )
+        probabilities = weights / weights.sum()
+    else:
+        probabilities = None
+
+    table = graph.keyword_table
+    screen = config.screen_keyword_detour and tables is not None
+    queries: list[KORQuery] = []
+    for _ in range(config.num_queries):
+        for _attempt in range(config.max_attempts):
+            chosen = rng.choice(
+                len(keyword_ids),
+                size=config.num_keywords,
+                replace=False,
+                p=probabilities,
+            )
+            kids = [keyword_ids[int(i)] for i in chosen]
+            source, target = _pick_endpoints(rng, n, config, tables)
+            if not screen or _detour_screen_passes(
+                index, tables, kids, source, target, config.budget_limit
+            ):
+                break
+        else:
+            raise DatasetError(
+                f"could not draw a keyword-reachable query after "
+                f"{config.max_attempts} attempts; raise the budget or relax the screen"
+            )
+        words = tuple(table.word_of(kid) for kid in kids)
+        queries.append(KORQuery(source, target, words, config.budget_limit))
+    return queries
+
+
+def _detour_screen_passes(
+    index: InvertedIndex,
+    tables: CostTables,
+    keyword_ids: list[int],
+    source: int,
+    target: int,
+    budget_limit: float,
+) -> bool:
+    """Every keyword has a node whose cheapest detour fits the budget."""
+    to_keyword = tables.bs_sigma[source]
+    from_keyword = tables.bs_sigma[:, target]
+    for kid in keyword_ids:
+        nodes = index.postings(kid)
+        if not ((to_keyword[nodes] + from_keyword[nodes]) <= budget_limit).any():
+            return False
+    return True
+
+
+def generate_query_sets(
+    graph: SpatialKeywordGraph,
+    index: InvertedIndex,
+    keyword_counts: tuple[int, ...] = (2, 4, 6, 8, 10),
+    budget_limit: float = 6.0,
+    num_queries: int = 50,
+    seed: int = 0,
+    tables: CostTables | None = None,
+    max_sigma_fraction: float | None = 0.7,
+) -> dict[int, list[KORQuery]]:
+    """The paper's battery: one set per keyword count."""
+    sets: dict[int, list[KORQuery]] = {}
+    for offset, count in enumerate(keyword_counts):
+        config = QuerySetConfig(
+            num_queries=num_queries,
+            num_keywords=count,
+            budget_limit=budget_limit,
+            seed=seed + offset,
+            max_sigma_fraction=max_sigma_fraction,
+        )
+        sets[count] = generate_query_set(graph, index, config, tables=tables)
+    return sets
+
+
+def _pick_endpoints(
+    rng: np.random.Generator,
+    n: int,
+    config: QuerySetConfig,
+    tables: CostTables | None,
+) -> tuple[int, int]:
+    if tables is None or config.max_sigma_fraction is None:
+        source = int(rng.integers(n))
+        target = int(rng.integers(n))
+        while target == source and n > 1:
+            target = int(rng.integers(n))
+        return source, target
+    ceiling = config.max_sigma_fraction * config.budget_limit
+    for _ in range(config.max_attempts):
+        source = int(rng.integers(n))
+        target = int(rng.integers(n))
+        if source == target:
+            continue
+        if tables.bs_sigma[source, target] <= ceiling:
+            return source, target
+    raise DatasetError(
+        f"could not find endpoints with BS(sigma) <= {ceiling:.3g} "
+        f"after {config.max_attempts} attempts; raise the budget or the fraction"
+    )
+
+
+__all__ = ["QuerySetConfig", "generate_query_set", "generate_query_sets"]

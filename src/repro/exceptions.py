@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure while letting genuine bugs (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph construction or malformed graph input."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid KOR/KkR queries (unknown nodes, empty keywords...)."""
+
+
+class PrepError(ReproError):
+    """Raised when pre-processing tables are missing, stale, or inconsistent."""
+
+
+class StorageError(ReproError):
+    """Raised by the disk-resident index substrate (pages, buffer pool, B+-tree)."""
+
+
+class DatasetError(ReproError):
+    """Raised by the synthetic dataset generators for invalid parameters."""

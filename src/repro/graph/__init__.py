@@ -1,0 +1,46 @@
+"""Spatial-keyword digraph substrate (Definition 1 of the paper)."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import Edge, GraphStats, SpatialKeywordGraph
+from repro.graph.generators import (
+    FIGURE_1_EDGES,
+    FIGURE_1_KEYWORDS,
+    complete_bigraph,
+    figure_1_graph,
+    grid_graph,
+    line_graph,
+)
+from repro.graph.io import load_json, load_npz, save_json, save_npz
+from repro.graph.keywords import KeywordTable
+from repro.graph.validation import (
+    ValidationReport,
+    is_strongly_connected,
+    largest_scc,
+    reachable_from,
+    strongly_connected_components,
+    validate_graph,
+)
+
+__all__ = [
+    "Edge",
+    "FIGURE_1_EDGES",
+    "FIGURE_1_KEYWORDS",
+    "GraphBuilder",
+    "GraphStats",
+    "KeywordTable",
+    "SpatialKeywordGraph",
+    "ValidationReport",
+    "complete_bigraph",
+    "figure_1_graph",
+    "grid_graph",
+    "is_strongly_connected",
+    "largest_scc",
+    "line_graph",
+    "strongly_connected_components",
+    "load_json",
+    "load_npz",
+    "reachable_from",
+    "save_json",
+    "save_npz",
+    "validate_graph",
+]

@@ -1,0 +1,153 @@
+"""Small deterministic graphs used across tests, docs and examples.
+
+The centrepiece is :func:`figure_1_graph`, a faithful reconstruction of the
+paper's running example (Figure 1).  The figure itself is an image, but its
+edge weights and keyword assignment are fully determined by the worked facts
+scattered through the text; see the module-level notes below for the
+derivation and for two internal inconsistencies in the paper's own examples.
+
+Reconstruction facts (all asserted by ``tests/graph/test_generators.py``):
+
+* Route ``<v0,v3,v5,v7>`` has OS = 2+3+4 = 9 and BS = 2+2+1 = 5  (Section 2).
+* ``tau_{0,7} = <v0,v3,v4,v7>`` with OS 4, BS 7; ``sigma_{0,7} =
+  <v0,v3,v5,v7>`` with OS 9, BS 5  (Section 3.1).
+* Example 1 (Delta=10, eps=0.5): theta = 1/20, so ``o_min * b_min = 1``;
+  ``R1 = <v0,v2,v3,v4>`` has label (·, 100, 5, 7) and ``R2 =
+  <v0,v2,v6,v5,v4>`` has label (·, 120, 6, 11), and R1's label dominates.
+* Example 2 / Table 1 pins nine labels exactly, which fixes the weights of
+  the edges out of v0, v2 and v3 and the query-keyword membership of every
+  node they reach; ``BS(sigma_{6,7}) = 7``, ``OS(tau_{3,7}) = 2`` with budget
+  5, and ``OS(tau_{5,7}) = 3`` with budget 4 pin the rest.
+* The Section-2 query ``<v0,v7,{t1,t2,t3},8>`` has optimum ``<v0,v3,v4,v7>``
+  (OS 4, BS 7) and with Delta = 6 the optimum is ``<v0,v3,v5,v7>``
+  (OS 9, BS 5); this forces ``t3 in psi(v0)`` and ``t2 in psi(v7)``.
+
+Known paper errata uncovered by the reconstruction:
+
+1. Example 1 prints the label keyword set of ``<v0,v2,v3,v4>`` as
+   ``<t1,t2,t4>``; with psi(v0)={t3} the *full* coverage also includes t3.
+   The printed set matches coverage restricted to the implicit query
+   keywords {t1,t2,t4}, which is how labels behave in Algorithm 1.
+2. Example 2 concludes "the best route is R1" (OS 6), yet the Section-2
+   example asserts that ``<v0,v3,v4,v7>`` covers {t1,t2,t3} within budget 8.
+   Any route feasible for ({t1,t2,t3}, Delta=8) is feasible for the
+   Example-2 query ({t1,t2}, Delta=10), and OS 4 < 6 — the two claims are
+   mutually inconsistent *independent of the figure*.  We keep the
+   Section-2 semantics (t2 on v7), so a faithful Algorithm-1 run returns
+   OS 4; the Example-2 trace through step (d), including every Table-1
+   label, still reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import SpatialKeywordGraph
+
+__all__ = [
+    "figure_1_graph",
+    "FIGURE_1_KEYWORDS",
+    "FIGURE_1_EDGES",
+    "line_graph",
+    "grid_graph",
+    "complete_bigraph",
+]
+
+#: Keyword of each node v0..v7 in the reconstructed Figure 1.
+FIGURE_1_KEYWORDS: tuple[str, ...] = ("t3", "t5", "t2", "t1", "t4", "t2", "t1", "t2")
+
+#: Directed edges ``(u, v, objective, budget)`` of the reconstructed Figure 1.
+FIGURE_1_EDGES: tuple[tuple[int, int, float, float], ...] = (
+    (0, 1, 4.0, 1.0),
+    (0, 2, 1.0, 3.0),
+    (0, 3, 2.0, 2.0),
+    (1, 4, 1.0, 7.0),
+    (1, 7, 3.0, 6.0),
+    (2, 3, 3.0, 2.0),
+    (2, 6, 1.0, 1.0),
+    (3, 1, 1.0, 2.0),
+    (3, 4, 1.0, 2.0),
+    (3, 5, 3.0, 2.0),
+    (4, 7, 1.0, 3.0),
+    (5, 4, 2.0, 1.0),
+    (5, 7, 4.0, 1.0),
+    (6, 5, 2.0, 6.0),
+)
+
+
+def figure_1_graph() -> SpatialKeywordGraph:
+    """The paper's Figure 1 example graph (8 nodes, 5 keywords).
+
+    Every worked example in the paper (Examples 1 and 2, Table 1, the
+    Section-2 queries and the Section-3.1 pre-processing facts) evaluates
+    exactly on this graph; see the module docstring for the derivation.
+    """
+    builder = GraphBuilder()
+    for i, keyword in enumerate(FIGURE_1_KEYWORDS):
+        builder.add_node(keywords=[keyword], name=f"v{i}")
+    for u, v, objective, budget in FIGURE_1_EDGES:
+        builder.add_edge(u, v, objective, budget)
+    return builder.build()
+
+
+def line_graph(
+    num_nodes: int,
+    keywords: list[list[str]] | None = None,
+    objective: float = 1.0,
+    budget: float = 1.0,
+) -> SpatialKeywordGraph:
+    """A simple directed path ``0 -> 1 -> ... -> n-1`` with uniform weights.
+
+    Handy for edge-case tests (single feasible route, tight budgets).
+    """
+    builder = GraphBuilder()
+    for i in range(num_nodes):
+        kws = keywords[i] if keywords is not None else []
+        builder.add_node(keywords=kws)
+    for i in range(num_nodes - 1):
+        builder.add_edge(i, i + 1, objective, budget)
+    return builder.build()
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    objective: float = 1.0,
+    budget: float = 1.0,
+    keywords: dict[int, list[str]] | None = None,
+) -> SpatialKeywordGraph:
+    """A bidirectional grid; node ``(r, c)`` has id ``r * cols + c``.
+
+    Used by unit tests that need multiple route alternatives with
+    predictable scores.
+    """
+    builder = GraphBuilder()
+    for r in range(rows):
+        for c in range(cols):
+            node_id = r * cols + c
+            kws = keywords.get(node_id, []) if keywords else []
+            builder.add_node(keywords=kws, x=float(c), y=float(r))
+    for r in range(rows):
+        for c in range(cols):
+            node_id = r * cols + c
+            if c + 1 < cols:
+                builder.add_bidirectional_edge(node_id, node_id + 1, objective, budget)
+            if r + 1 < rows:
+                builder.add_bidirectional_edge(node_id, node_id + cols, objective, budget)
+    return builder.build()
+
+
+def complete_bigraph(
+    num_nodes: int, objective: float = 1.0, budget: float = 1.0
+) -> SpatialKeywordGraph:
+    """A complete digraph with uniform weights and no keywords.
+
+    Worst case for label proliferation; exercises domination pruning.
+    """
+    builder = GraphBuilder()
+    for _ in range(num_nodes):
+        builder.add_node()
+    for u in range(num_nodes):
+        for v in range(num_nodes):
+            if u != v:
+                builder.add_edge(u, v, objective, budget)
+    return builder.build()

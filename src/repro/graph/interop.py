@@ -1,0 +1,83 @@
+"""Interoperability with :mod:`networkx`.
+
+networkx is **not** a dependency of the core library; these helpers import
+it lazily.  They exist so that (a) users with existing networkx pipelines
+can adopt the KOR engine in one call, and (b) the test suite can use
+networkx shortest paths as an independent oracle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import SpatialKeywordGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx as nx
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment guard
+        raise GraphError("networkx is required for graph interop") from exc
+    return networkx
+
+
+def from_networkx(
+    nx_graph: "nx.DiGraph",
+    keyword_attr: str = "keywords",
+    objective_attr: str = "objective",
+    budget_attr: str = "budget",
+) -> tuple[SpatialKeywordGraph, dict[object, int]]:
+    """Convert a networkx ``DiGraph`` into a :class:`SpatialKeywordGraph`.
+
+    Node keyword sets are read from the *keyword_attr* node attribute
+    (any iterable of strings, missing means "no keywords"); edge weights
+    from *objective_attr* / *budget_attr*.  Returns the graph plus the
+    mapping from original networkx node keys to dense integer ids.
+    """
+    _require_networkx()
+    builder = GraphBuilder()
+    mapping: dict[object, int] = {}
+    for node, attrs in nx_graph.nodes(data=True):
+        keywords = attrs.get(keyword_attr, ())
+        pos = attrs.get("pos")
+        x, y = (pos if pos is not None else (None, None))
+        mapping[node] = builder.add_node(keywords=list(keywords), name=str(node), x=x, y=y)
+    for u, v, attrs in nx_graph.edges(data=True):
+        if objective_attr not in attrs or budget_attr not in attrs:
+            raise GraphError(
+                f"edge ({u!r}, {v!r}) lacks '{objective_attr}'/'{budget_attr}' attributes"
+            )
+        builder.add_edge(
+            mapping[u], mapping[v], float(attrs[objective_attr]), float(attrs[budget_attr])
+        )
+    return builder.build(), mapping
+
+
+def to_networkx(graph: SpatialKeywordGraph) -> "nx.DiGraph":
+    """Convert a :class:`SpatialKeywordGraph` into a networkx ``DiGraph``.
+
+    Node attributes: ``keywords`` (frozenset of strings), ``name``, and
+    ``pos`` when the graph has coordinates.  Edge attributes: ``objective``
+    and ``budget``.
+    """
+    networkx = _require_networkx()
+    out = networkx.DiGraph()
+    for u in range(graph.num_nodes):
+        attrs: dict[str, object] = {
+            "keywords": graph.node_keyword_strings(u),
+            "name": graph.name_of(u),
+        }
+        coords = graph.coordinates(u)
+        if coords is not None:
+            attrs["pos"] = coords
+        out.add_node(u, **attrs)
+    for edge in graph.iter_edges():
+        out.add_edge(edge.u, edge.v, objective=edge.objective, budget=edge.budget)
+    return out

@@ -1,0 +1,134 @@
+"""Serialisation of spatial-keyword graphs.
+
+Two formats are provided:
+
+* **JSON** — human-readable, good for small fixtures and interchange.
+* **NPZ** — compact binary (numpy archive), good for the generated
+  benchmark datasets; round-trips coordinates and weights losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import SpatialKeywordGraph
+
+__all__ = ["save_json", "load_json", "save_npz", "load_npz"]
+
+_JSON_VERSION = 1
+
+
+def save_json(graph: SpatialKeywordGraph, path: str | Path) -> None:
+    """Write *graph* to *path* as a self-describing JSON document."""
+    nodes = []
+    for u in range(graph.num_nodes):
+        node: dict[str, object] = {
+            "name": graph.name_of(u),
+            "keywords": sorted(graph.node_keyword_strings(u)),
+        }
+        coords = graph.coordinates(u)
+        if coords is not None:
+            node["x"], node["y"] = coords
+        nodes.append(node)
+    edges = [
+        {"u": e.u, "v": e.v, "objective": e.objective, "budget": e.budget}
+        for e in graph.iter_edges()
+    ]
+    doc = {"format": "repro-graph", "version": _JSON_VERSION, "nodes": nodes, "edges": edges}
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+
+def load_json(path: str | Path) -> SpatialKeywordGraph:
+    """Load a graph previously written by :func:`save_json`."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GraphError(f"cannot read graph from {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "repro-graph":
+        raise GraphError(f"{path} is not a repro graph JSON document")
+    if doc.get("version") != _JSON_VERSION:
+        raise GraphError(f"unsupported graph format version: {doc.get('version')!r}")
+
+    builder = GraphBuilder()
+    for node in doc["nodes"]:
+        builder.add_node(
+            keywords=node.get("keywords", []),
+            name=node.get("name"),
+            x=node.get("x"),
+            y=node.get("y"),
+        )
+    for edge in doc["edges"]:
+        builder.add_edge(
+            int(edge["u"]), int(edge["v"]), float(edge["objective"]), float(edge["budget"])
+        )
+    return builder.build()
+
+
+def save_npz(graph: SpatialKeywordGraph, path: str | Path) -> None:
+    """Write *graph* to *path* as a compressed numpy archive."""
+    indptr, indices, objectives, budgets = graph.to_csr()
+    names = np.array([graph.name_of(u) for u in range(graph.num_nodes)])
+    vocabulary = np.array(list(graph.keyword_table.words), dtype=object)
+
+    # Node keyword sets become a ragged -> (offsets, flat ids) pair.
+    kw_offsets = np.zeros(graph.num_nodes + 1, dtype=np.int64)
+    flat_ids: list[int] = []
+    for u in range(graph.num_nodes):
+        ids = sorted(graph.node_keywords(u))
+        flat_ids.extend(ids)
+        kw_offsets[u + 1] = len(flat_ids)
+    arrays: dict[str, np.ndarray] = {
+        "indptr": indptr,
+        "indices": indices,
+        "objectives": objectives,
+        "budgets": budgets,
+        "names": names,
+        "vocabulary": vocabulary,
+        "kw_offsets": kw_offsets,
+        "kw_ids": np.asarray(flat_ids, dtype=np.int64),
+    }
+    coords = graph.coordinate_arrays
+    if coords is not None:
+        arrays["xs"], arrays["ys"] = coords
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: str | Path) -> SpatialKeywordGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    try:
+        data = np.load(path, allow_pickle=True)
+    except OSError as exc:
+        raise GraphError(f"cannot read graph from {path}: {exc}") from exc
+    required = {"indptr", "indices", "objectives", "budgets", "names", "vocabulary"}
+    missing = required - set(data.files)
+    if missing:
+        raise GraphError(f"{path} misses arrays: {sorted(missing)}")
+
+    builder = GraphBuilder()
+    vocabulary = [str(w) for w in data["vocabulary"]]
+    kw_offsets = data["kw_offsets"]
+    kw_ids = data["kw_ids"]
+    names = data["names"]
+    has_coords = "xs" in data.files
+    n = len(names)
+    for u in range(n):
+        word_ids = kw_ids[kw_offsets[u] : kw_offsets[u + 1]]
+        builder.add_node(
+            keywords=[vocabulary[int(k)] for k in word_ids],
+            name=str(names[u]),
+            x=float(data["xs"][u]) if has_coords else None,
+            y=float(data["ys"][u]) if has_coords else None,
+        )
+    indptr = data["indptr"]
+    indices = data["indices"]
+    objectives = data["objectives"]
+    budgets = data["budgets"]
+    for u in range(n):
+        for pos in range(int(indptr[u]), int(indptr[u + 1])):
+            builder.add_edge(u, int(indices[pos]), float(objectives[pos]), float(budgets[pos]))
+    return builder.build()

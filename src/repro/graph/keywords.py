@@ -1,0 +1,102 @@
+"""Keyword interning.
+
+The paper's graphs attach a *set of keywords* to every node (Definition 1:
+``v.psi``).  Algorithms never care about the keyword strings themselves,
+only about set membership, so we intern every distinct keyword string to a
+dense integer id once, at graph-build time.  Query processing later maps the
+(at most ~10) *query* keywords to bit positions of a machine-word bitmask;
+that query-local binding lives in :mod:`repro.core.query`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import GraphError
+
+__all__ = ["KeywordTable"]
+
+
+class KeywordTable:
+    """A bidirectional mapping between keyword strings and dense integer ids.
+
+    Ids are assigned in first-seen order starting from 0 and are never
+    reused.  The table is append-only: keywords cannot be removed, which
+    keeps ids stable for the lifetime of a graph.
+    """
+
+    __slots__ = ("_id_by_word", "_words")
+
+    def __init__(self) -> None:
+        self._id_by_word: dict[str, int] = {}
+        self._words: list[str] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def intern(self, word: str) -> int:
+        """Return the id for *word*, assigning a fresh id on first sight."""
+        if not isinstance(word, str):
+            raise GraphError(f"keyword must be a string, got {type(word).__name__}")
+        if not word:
+            raise GraphError("keyword must be a non-empty string")
+        existing = self._id_by_word.get(word)
+        if existing is not None:
+            return existing
+        new_id = len(self._words)
+        self._id_by_word[word] = new_id
+        self._words.append(word)
+        return new_id
+
+    def intern_many(self, words: Iterable[str]) -> frozenset[int]:
+        """Intern every word in *words* and return their ids as a frozenset."""
+        return frozenset(self.intern(word) for word in words)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def id_of(self, word: str) -> int:
+        """Return the id of a known *word*.
+
+        Raises :class:`~repro.exceptions.GraphError` if the word was never
+        interned, which almost always indicates a query keyword that occurs
+        nowhere in the graph.
+        """
+        try:
+            return self._id_by_word[word]
+        except KeyError:
+            raise GraphError(f"unknown keyword: {word!r}") from None
+
+    def get(self, word: str) -> int | None:
+        """Return the id of *word* or ``None`` when it was never interned."""
+        return self._id_by_word.get(word)
+
+    def word_of(self, keyword_id: int) -> str:
+        """Return the keyword string for *keyword_id*."""
+        if 0 <= keyword_id < len(self._words):
+            return self._words[keyword_id]
+        raise GraphError(f"unknown keyword id: {keyword_id}")
+
+    def words_of(self, keyword_ids: Iterable[int]) -> frozenset[str]:
+        """Map a collection of keyword ids back to their strings."""
+        return frozenset(self.word_of(kid) for kid in keyword_ids)
+
+    # ------------------------------------------------------------------
+    # protocol support
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, word: object) -> bool:
+        return isinstance(word, str) and word in self._id_by_word
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._words)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeywordTable({len(self._words)} keywords)"
+
+    @property
+    def words(self) -> tuple[str, ...]:
+        """All interned keywords, in id order."""
+        return tuple(self._words)

@@ -1,0 +1,179 @@
+"""Structural validation helpers for spatial-keyword graphs.
+
+These checks are used by the dataset generators (to guarantee that the
+synthetic workloads are well-formed before benchmarking) and surfaced to
+library users through :func:`validate_graph`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import SpatialKeywordGraph
+
+__all__ = [
+    "ValidationReport",
+    "validate_graph",
+    "reachable_from",
+    "is_strongly_connected",
+    "strongly_connected_components",
+    "largest_scc",
+]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_graph`."""
+
+    num_nodes: int
+    num_edges: int
+    num_sinks: int
+    num_sources: int
+    num_isolated: int
+    num_keywordless: int
+    strongly_connected: bool
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no warnings were produced."""
+        return not self.warnings
+
+
+def reachable_from(graph: SpatialKeywordGraph, source: int) -> set[int]:
+    """Set of nodes reachable from *source* by directed edges (BFS)."""
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v, _obj, _bud in graph.out_edges(u):
+            if v not in seen:
+                seen.add(v)
+                frontier.append(v)
+    return seen
+
+
+def is_strongly_connected(graph: SpatialKeywordGraph) -> bool:
+    """Whether every node can reach every other node.
+
+    Checked as: all nodes reachable from node 0 in the graph *and* in its
+    reverse — the standard two-BFS test.
+    """
+    n = graph.num_nodes
+    if n <= 1:
+        return True
+    if len(reachable_from(graph, 0)) != n:
+        return False
+    return len(reachable_from(graph.reverse(), 0)) == n
+
+
+def strongly_connected_components(graph: SpatialKeywordGraph) -> list[list[int]]:
+    """Strongly connected components via Kosaraju's two-pass algorithm.
+
+    Iterative (explicit stacks), so it copes with graphs whose components
+    are deeper than Python's recursion limit.
+    """
+    n = graph.num_nodes
+    order: list[int] = []
+    seen = [False] * n
+    for start in range(n):
+        if seen[start]:
+            continue
+        # First pass: record reverse-finish order.
+        stack: list[tuple[int, int]] = [(start, 0)]
+        seen[start] = True
+        while stack:
+            node, edge_pos = stack[-1]
+            out = graph.out_edges(node)
+            advanced = False
+            while edge_pos < len(out):
+                nxt = out[edge_pos][0]
+                edge_pos += 1
+                if not seen[nxt]:
+                    stack[-1] = (node, edge_pos)
+                    stack.append((nxt, 0))
+                    seen[nxt] = True
+                    advanced = True
+                    break
+            if not advanced:
+                stack[-1] = (node, edge_pos)
+                if edge_pos >= len(out):
+                    order.append(node)
+                    stack.pop()
+
+    reverse_adj: list[list[int]] = [[] for _ in range(n)]
+    for u in range(n):
+        for v, _obj, _bud in graph.out_edges(u):
+            reverse_adj[v].append(u)
+
+    components: list[list[int]] = []
+    assigned = [False] * n
+    for node in reversed(order):
+        if assigned[node]:
+            continue
+        component = [node]
+        assigned[node] = True
+        frontier = deque([node])
+        while frontier:
+            u = frontier.popleft()
+            for v in reverse_adj[u]:
+                if not assigned[v]:
+                    assigned[v] = True
+                    component.append(v)
+                    frontier.append(v)
+        components.append(component)
+    return components
+
+
+def largest_scc(graph: SpatialKeywordGraph) -> tuple[SpatialKeywordGraph, dict[int, int]]:
+    """The subgraph induced by the largest strongly connected component.
+
+    Used by the dataset builders so that benchmark queries are rarely
+    trivially infeasible.  Returns the subgraph and the old->new mapping.
+    """
+    components = strongly_connected_components(graph)
+    biggest = max(components, key=len)
+    return graph.induced_subgraph(biggest)
+
+
+def validate_graph(graph: SpatialKeywordGraph) -> ValidationReport:
+    """Run structural sanity checks and return a report.
+
+    Sinks (no out-edges) and unreachable regions are legal but usually
+    indicate a broken dataset build, so they are reported as warnings
+    rather than errors.
+    """
+    n = graph.num_nodes
+    out_deg = [graph.out_degree(u) for u in range(n)]
+    in_deg = [0] * n
+    for u in range(n):
+        for v, _obj, _bud in graph.out_edges(u):
+            in_deg[v] += 1
+
+    sinks = sum(1 for d in out_deg if d == 0)
+    sources = sum(1 for d in in_deg if d == 0)
+    isolated = sum(1 for u in range(n) if out_deg[u] == 0 and in_deg[u] == 0)
+    keywordless = sum(1 for u in range(n) if not graph.node_keywords(u))
+    strongly = is_strongly_connected(graph)
+
+    warnings: list[str] = []
+    if isolated:
+        warnings.append(f"{isolated} isolated node(s)")
+    if sinks:
+        warnings.append(f"{sinks} sink node(s) cannot start any out-edge")
+    if not strongly:
+        warnings.append("graph is not strongly connected; some queries are infeasible")
+    if keywordless == n:
+        warnings.append("no node carries any keyword; every KOR query will fail")
+
+    return ValidationReport(
+        num_nodes=n,
+        num_edges=graph.num_edges,
+        num_sinks=sinks,
+        num_sources=sources,
+        num_isolated=isolated,
+        num_keywordless=keywordless,
+        strongly_connected=strongly,
+        warnings=warnings,
+    )

@@ -1,0 +1,13 @@
+"""Inverted-file substrate (paper Section 3.1): vocabulary + posting lists.
+
+Two interchangeable realisations:
+
+* :class:`repro.index.inverted.InvertedIndex` — in-memory (default).
+* :class:`repro.index.diskindex.DiskInvertedIndex` — the paper's
+  disk-resident B+-tree inverted file, built on the page/buffer-pool stack.
+"""
+
+from repro.index.inverted import InvertedIndex
+from repro.index.vocabulary import TermStats, Vocabulary
+
+__all__ = ["InvertedIndex", "TermStats", "Vocabulary"]

@@ -1,0 +1,324 @@
+"""A disk-resident B+-tree over the buffer pool.
+
+Variable-length byte keys and values; leaves are chained for range scans;
+splits trigger on *serialized size* (pages hold as many entries as fit),
+which is how real engines handle variable-length keys.  The tree backs
+the paper's disk-resident inverted file (Section 3.1): terms are keys and
+values point at posting-list page chains.
+
+Page layout — meta page (page 0)::
+
+    magic "KORB" | root page id (i32)
+
+Leaf node::
+
+    type 0x01 | next leaf (i32, -1 = none) | count (u16)
+    count * [ key len (u16) | key | value len (u16) | value ]
+
+Internal node::
+
+    type 0x02 | count (u16) | child_0 (i32)
+    count * [ key len (u16) | key | child (i32) ]
+
+Deletion is *lazy* (the entry is removed from its leaf; underfull pages
+are not merged), the same trade-off SQLite makes without ``VACUUM`` —
+lookups stay correct and the paper's workload never deletes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import StorageError
+from repro.index.buffer import BufferPool
+
+__all__ = ["BPlusTree"]
+
+_MAGIC = b"KORB"
+_LEAF = 0x01
+_INTERNAL = 0x02
+_I32 = struct.Struct("<i")
+_U16 = struct.Struct("<H")
+
+
+@dataclass
+class _Leaf:
+    next_leaf: int
+    keys: list[bytes]
+    values: list[bytes]
+
+    def serialize(self) -> bytes:
+        parts = [bytes([_LEAF]), _I32.pack(self.next_leaf), _U16.pack(len(self.keys))]
+        for key, value in zip(self.keys, self.values):
+            parts.append(_U16.pack(len(key)))
+            parts.append(key)
+            parts.append(_U16.pack(len(value)))
+            parts.append(value)
+        return b"".join(parts)
+
+    def size(self) -> int:
+        return 7 + sum(4 + len(k) + len(v) for k, v in zip(self.keys, self.values))
+
+
+@dataclass
+class _Internal:
+    children: list[int]  # len(children) == len(keys) + 1
+    keys: list[bytes]
+
+    def serialize(self) -> bytes:
+        parts = [bytes([_INTERNAL]), _U16.pack(len(self.keys)), _I32.pack(self.children[0])]
+        for key, child in zip(self.keys, self.children[1:]):
+            parts.append(_U16.pack(len(key)))
+            parts.append(key)
+            parts.append(_I32.pack(child))
+        return b"".join(parts)
+
+    def size(self) -> int:
+        return 7 + sum(6 + len(k) for k in self.keys)
+
+
+class BPlusTree:
+    """Ordered byte-key -> byte-value map stored in pages."""
+
+    def __init__(self, pool: BufferPool) -> None:
+        self._pool = pool
+        if pool.store.num_pages == 0:
+            meta = pool.allocate()  # page 0
+            assert meta == 0
+            root = pool.allocate()
+            self._root = root
+            self._write_node(root, _Leaf(next_leaf=-1, keys=[], values=[]))
+            self._write_meta()
+        else:
+            payload = pool.get(0)
+            if payload[:4] != _MAGIC:
+                raise StorageError("page 0 does not contain a B+-tree meta block")
+            (self._root,) = _I32.unpack_from(payload, 4)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> bytes | None:
+        """Value stored under *key*, or ``None``."""
+        leaf = self._descend_to_leaf(key)
+        index = self._find(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return None
+
+    def insert(self, key: bytes, value: bytes) -> None:
+        """Upsert ``key -> value``."""
+        if not key:
+            raise StorageError("B+-tree keys must be non-empty")
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            promoted, right = split
+            new_root = self._pool.allocate()
+            self._write_node(
+                new_root, _Internal(children=[self._root, right], keys=[promoted])
+            )
+            self._root = new_root
+            self._write_meta()
+
+    def delete(self, key: bytes) -> bool:
+        """Lazily remove *key*; returns whether it was present."""
+        path = self._path_to_leaf(key)
+        page_id, leaf = path[-1]
+        index = self._find(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        del leaf.keys[index]
+        del leaf.values[index]
+        self._write_node(page_id, leaf)
+        return True
+
+    def range(self, start: bytes | None = None, end: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` with ``start <= key < end``, in key order."""
+        leaf = self._descend_to_leaf(start if start is not None else b"\x00")
+        index = 0 if start is None else self._find(leaf.keys, start)
+        while True:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if end is not None and key >= end:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            if leaf.next_leaf < 0:
+                return
+            leaf = self._read_node(leaf.next_leaf)
+            if not isinstance(leaf, _Leaf):  # pragma: no cover - corruption guard
+                raise StorageError("leaf chain points at an internal node")
+            index = 0
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Every entry in key order."""
+        return self.range()
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def flush(self) -> None:
+        """Write every dirty page back through the buffer pool."""
+        self._pool.flush()
+
+    def depth(self) -> int:
+        """Height of the tree (1 = a single leaf)."""
+        depth, node_id = 1, self._root
+        node = self._read_node(node_id)
+        while isinstance(node, _Internal):
+            depth += 1
+            node = self._read_node(node.children[0])
+        return depth
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _capacity(self) -> int:
+        return self._pool.store.payload_capacity
+
+    def _write_meta(self) -> None:
+        self._pool.put(0, _MAGIC + _I32.pack(self._root))
+
+    def _write_node(self, page_id: int, node: _Leaf | _Internal) -> None:
+        self._pool.put(page_id, node.serialize())
+
+    def _read_node(self, page_id: int) -> "_Leaf | _Internal":
+        payload = self._pool.get(page_id)
+        if not payload:
+            raise StorageError(f"page {page_id} is empty, expected a node")
+        kind = payload[0]
+        if kind == _LEAF:
+            (next_leaf,) = _I32.unpack_from(payload, 1)
+            (count,) = _U16.unpack_from(payload, 5)
+            offset = 7
+            keys: list[bytes] = []
+            values: list[bytes] = []
+            for _ in range(count):
+                (klen,) = _U16.unpack_from(payload, offset)
+                offset += 2
+                keys.append(payload[offset : offset + klen])
+                offset += klen
+                (vlen,) = _U16.unpack_from(payload, offset)
+                offset += 2
+                values.append(payload[offset : offset + vlen])
+                offset += vlen
+            return _Leaf(next_leaf=next_leaf, keys=keys, values=values)
+        if kind == _INTERNAL:
+            (count,) = _U16.unpack_from(payload, 1)
+            (first_child,) = _I32.unpack_from(payload, 3)
+            offset = 7
+            keys = []
+            children = [first_child]
+            for _ in range(count):
+                (klen,) = _U16.unpack_from(payload, offset)
+                offset += 2
+                keys.append(payload[offset : offset + klen])
+                offset += klen
+                (child,) = _I32.unpack_from(payload, offset)
+                offset += 4
+                children.append(child)
+            return _Internal(children=children, keys=keys)
+        raise StorageError(f"page {page_id} has unknown node type {kind:#x}")
+
+    @staticmethod
+    def _find(keys: list[bytes], key: bytes) -> int:
+        """Leftmost index with ``keys[index] >= key`` (binary search)."""
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _descend_to_leaf(self, key: bytes) -> _Leaf:
+        node = self._read_node(self._root)
+        while isinstance(node, _Internal):
+            node = self._read_node(self._child_for(node, key))
+        return node
+
+    def _path_to_leaf(self, key: bytes) -> list[tuple[int, "_Leaf | _Internal"]]:
+        path: list[tuple[int, _Leaf | _Internal]] = []
+        page_id = self._root
+        node = self._read_node(page_id)
+        path.append((page_id, node))
+        while isinstance(node, _Internal):
+            page_id = self._child_for(node, key)
+            node = self._read_node(page_id)
+            path.append((page_id, node))
+        return path
+
+    @staticmethod
+    def _child_for(node: _Internal, key: bytes) -> int:
+        index = 0
+        while index < len(node.keys) and key >= node.keys[index]:
+            index += 1
+        return node.children[index]
+
+    def _insert_into(self, page_id: int, key: bytes, value: bytes) -> tuple[bytes, int] | None:
+        """Recursive insert; returns ``(promoted_key, new_right_page)`` on split."""
+        node = self._read_node(page_id)
+        if isinstance(node, _Leaf):
+            index = self._find(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+            if node.size() <= self._capacity():
+                self._write_node(page_id, node)
+                return None
+            return self._split_leaf(page_id, node)
+
+        child_index = 0
+        while child_index < len(node.keys) and key >= node.keys[child_index]:
+            child_index += 1
+        split = self._insert_into(node.children[child_index], key, value)
+        if split is None:
+            return None
+        promoted, right = split
+        node.keys.insert(child_index, promoted)
+        node.children.insert(child_index + 1, right)
+        if node.size() <= self._capacity():
+            self._write_node(page_id, node)
+            return None
+        return self._split_internal(page_id, node)
+
+    def _split_leaf(self, page_id: int, node: _Leaf) -> tuple[bytes, int]:
+        middle = len(node.keys) // 2
+        right_page = self._pool.allocate()
+        right = _Leaf(
+            next_leaf=node.next_leaf,
+            keys=node.keys[middle:],
+            values=node.values[middle:],
+        )
+        left = _Leaf(next_leaf=right_page, keys=node.keys[:middle], values=node.values[:middle])
+        if left.size() > self._capacity() or right.size() > self._capacity():
+            raise StorageError(
+                "a single entry exceeds the page capacity; "
+                "use larger pages or shorter keys/values"
+            )
+        self._write_node(right_page, right)
+        self._write_node(page_id, left)
+        return right.keys[0], right_page
+
+    def _split_internal(self, page_id: int, node: _Internal) -> tuple[bytes, int]:
+        middle = len(node.keys) // 2
+        promoted = node.keys[middle]
+        right_page = self._pool.allocate()
+        right = _Internal(
+            children=node.children[middle + 1 :],
+            keys=node.keys[middle + 1 :],
+        )
+        left = _Internal(children=node.children[: middle + 1], keys=node.keys[:middle])
+        if left.size() > self._capacity() or right.size() > self._capacity():
+            raise StorageError(
+                "a single separator exceeds the page capacity; "
+                "use larger pages or shorter keys"
+            )
+        self._write_node(right_page, right)
+        self._write_node(page_id, left)
+        return promoted, right_page

@@ -1,0 +1,112 @@
+"""An LRU buffer pool over a :class:`~repro.index.pages.PageStore`.
+
+The B+-tree never touches the page store directly; it reads and writes
+through this pool, which caches hot pages, tracks dirty ones and writes
+them back on eviction or flush — the standard database discipline.  Hit
+and miss counters feed the index ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.exceptions import StorageError
+from repro.index.pages import PageStore
+
+__all__ = ["BufferPool", "BufferStats"]
+
+
+@dataclass
+class BufferStats:
+    """Counters exposed for benchmarks and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page requests served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of page payloads with write-back."""
+
+    def __init__(self, store: PageStore, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
+        self._store = store
+        self._capacity = capacity
+        self._pages: OrderedDict[int, bytearray] = OrderedDict()
+        self._dirty: set[int] = set()
+        self.stats = BufferStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> PageStore:
+        """The underlying page store."""
+        return self._store
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached pages."""
+        return self._capacity
+
+    def allocate(self) -> int:
+        """Allocate a fresh page and cache it as dirty-empty."""
+        page_id = self._store.allocate()
+        self._insert(page_id, bytearray())
+        self._dirty.add(page_id)
+        return page_id
+
+    def get(self, page_id: int) -> bytes:
+        """Read a page payload through the cache."""
+        cached = self._pages.get(page_id)
+        if cached is not None:
+            self.stats.hits += 1
+            self._pages.move_to_end(page_id)
+            return bytes(cached)
+        self.stats.misses += 1
+        payload = self._store.read_page(page_id)
+        self._insert(page_id, bytearray(payload))
+        return payload
+
+    def put(self, page_id: int, payload: bytes) -> None:
+        """Replace a page payload (write-back on eviction/flush)."""
+        if len(payload) > self._store.payload_capacity:
+            raise StorageError(
+                f"payload of {len(payload)} bytes exceeds page capacity "
+                f"{self._store.payload_capacity}"
+            )
+        self._insert(page_id, bytearray(payload))
+        self._dirty.add(page_id)
+
+    def flush(self) -> None:
+        """Write every dirty page back to the store."""
+        for page_id in sorted(self._dirty):
+            payload = self._pages.get(page_id)
+            if payload is None:  # pragma: no cover - dirty pages stay cached
+                continue
+            self._store.write_page(page_id, bytes(payload))
+            self.stats.writebacks += 1
+        self._dirty.clear()
+        self._store.flush()
+
+    # ------------------------------------------------------------------
+    def _insert(self, page_id: int, payload: bytearray) -> None:
+        if page_id in self._pages:
+            self._pages[page_id] = payload
+            self._pages.move_to_end(page_id)
+            return
+        while len(self._pages) >= self._capacity:
+            victim_id, victim = self._pages.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_id in self._dirty:
+                self._store.write_page(victim_id, bytes(victim))
+                self._dirty.discard(victim_id)
+                self.stats.writebacks += 1
+        self._pages[page_id] = payload

@@ -1,0 +1,191 @@
+"""The paper's disk-resident inverted file (Section 3.1).
+
+Terms live in a B+-tree; each term's value points at a chain of pages
+holding its posting list, stored *delta-compressed with varints* — the
+classic inverted-file encoding (sorted node ids, store gaps, 7 bits per
+byte with a continuation bit).  The query interface matches
+:class:`repro.index.inverted.InvertedIndex`, so the two back ends are
+interchangeable and tested for equivalence.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.index.btree import BPlusTree
+from repro.index.buffer import BufferPool
+from repro.index.pages import DEFAULT_PAGE_SIZE, PageStore
+from repro.index.vocabulary import Vocabulary
+
+__all__ = ["DiskInvertedIndex", "encode_postings", "decode_postings"]
+
+_ENTRY = struct.Struct("<iiI")  # head page, -, count  (second field reserved)
+_CHAIN_HEADER = struct.Struct("<i")  # next page id (-1 = end)
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def encode_postings(node_ids: np.ndarray) -> bytes:
+    """Delta + varint encode a sorted array of node ids."""
+    out = bytearray()
+    previous = 0
+    for node in node_ids:
+        gap = int(node) - previous
+        if gap < 0:
+            raise StorageError("posting lists must be sorted ascending")
+        previous = int(node)
+        while True:
+            byte = gap & 0x7F
+            gap >>= 7
+            if gap:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def decode_postings(blob: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`encode_postings`."""
+    values = np.empty(count, dtype=np.int64)
+    position = 0
+    current = 0
+    for i in range(count):
+        gap = 0
+        shift = 0
+        while True:
+            if position >= len(blob):
+                raise StorageError("posting blob truncated")
+            byte = blob[position]
+            position += 1
+            gap |= (byte & 0x7F) << shift
+            shift += 7
+            if not byte & 0x80:
+                break
+        current += gap
+        values[i] = current
+    return values
+
+
+class DiskInvertedIndex:
+    """Disk-resident keyword-id -> posting-list index behind a B+-tree."""
+
+    def __init__(self, pool: BufferPool, vocabulary: Vocabulary) -> None:
+        self._pool = pool
+        self._tree = BPlusTree(pool)
+        self._vocabulary = vocabulary
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: SpatialKeywordGraph,
+        path: str | Path | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 64,
+    ) -> "DiskInvertedIndex":
+        """Build the index for *graph* (on disk at *path*, or in memory)."""
+        store = PageStore(path, page_size=page_size)
+        pool = BufferPool(store, capacity=buffer_capacity)
+        index = cls(pool, Vocabulary(graph))
+
+        lists: dict[int, list[int]] = {}
+        for node in range(graph.num_nodes):
+            for kid in graph.node_keywords(node):
+                lists.setdefault(kid, []).append(node)
+        for kid in sorted(lists):
+            node_ids = np.asarray(sorted(lists[kid]), dtype=np.int64)
+            index._store_postings(kid, node_ids)
+        pool.flush()
+        return index
+
+    def _store_postings(self, keyword_id: int, node_ids: np.ndarray) -> None:
+        blob = encode_postings(node_ids)
+        capacity = self._pool.store.payload_capacity - _CHAIN_HEADER.size
+        chunks = [blob[i : i + capacity] for i in range(0, len(blob), capacity)] or [b""]
+        # Allocate the chain back to front so each page knows its successor.
+        next_page = -1
+        for chunk in reversed(chunks):
+            page_id = self._pool.allocate()
+            self._pool.put(page_id, _CHAIN_HEADER.pack(next_page) + chunk)
+            next_page = page_id
+        key = _term_key(keyword_id)
+        self._tree.insert(key, _ENTRY.pack(next_page, 0, len(node_ids)))
+
+    # ------------------------------------------------------------------
+    # the InvertedIndex-compatible query interface
+    # ------------------------------------------------------------------
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """Document-frequency statistics (Strategy 2)."""
+        return self._vocabulary
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        """The pool, exposed so benchmarks can read hit-rate statistics."""
+        return self._pool
+
+    def postings(self, keyword_id: int) -> np.ndarray:
+        """Sorted node ids containing *keyword_id* (empty when absent)."""
+        entry = self._tree.get(_term_key(keyword_id))
+        if entry is None:
+            return _EMPTY
+        head, _reserved, count = _ENTRY.unpack(entry)
+        parts: list[bytes] = []
+        page_id = head
+        while page_id >= 0:
+            payload = self._pool.get(page_id)
+            (next_page,) = _CHAIN_HEADER.unpack_from(payload)
+            parts.append(payload[_CHAIN_HEADER.size :])
+            page_id = next_page
+        return decode_postings(b"".join(parts), count)
+
+    def document_frequency(self, keyword_id: int) -> int:
+        """Posting-list length without decoding the chain."""
+        entry = self._tree.get(_term_key(keyword_id))
+        if entry is None:
+            return 0
+        _head, _reserved, count = _ENTRY.unpack(entry)
+        return count
+
+    def nodes_covering_any(self, keyword_ids: Iterable[int]) -> np.ndarray:
+        """Union of posting lists."""
+        lists = [self.postings(kid) for kid in keyword_ids]
+        lists = [lst for lst in lists if len(lst)]
+        if not lists:
+            return _EMPTY
+        return np.unique(np.concatenate(lists))
+
+    def nodes_covering_all(self, keyword_ids: Iterable[int]) -> np.ndarray:
+        """Intersection of posting lists."""
+        ids = list(keyword_ids)
+        if not ids:
+            raise StorageError("nodes_covering_all() requires at least one keyword")
+        result = self.postings(ids[0])
+        for kid in ids[1:]:
+            if len(result) == 0:
+                break
+            result = np.intersect1d(result, self.postings(kid), assume_unique=True)
+        return result
+
+    def flush(self) -> None:
+        """Persist all dirty pages."""
+        self._pool.flush()
+
+    def close(self) -> None:
+        """Flush and close the backing store."""
+        self._pool.flush()
+        self._pool.store.close()
+
+
+def _term_key(keyword_id: int) -> bytes:
+    """Fixed-width big-endian key keeps B+-tree order == numeric order."""
+    return struct.pack(">I", keyword_id)

@@ -1,0 +1,83 @@
+"""In-memory inverted file over node keywords.
+
+The paper's index (Section 3.1) has two components: a vocabulary and one
+posting list per word holding the ids of the nodes whose description
+contains the word.  The paper makes it disk resident via a B+-tree; that
+variant lives in :mod:`repro.index.diskindex` with an identical query
+interface, so the two are interchangeable (and tested for equivalence).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.index.vocabulary import Vocabulary
+
+__all__ = ["InvertedIndex"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class InvertedIndex:
+    """Keyword-id -> sorted node-id posting lists, held in memory."""
+
+    def __init__(
+        self, postings: dict[int, np.ndarray], vocabulary: Vocabulary
+    ) -> None:
+        self._postings = postings
+        self._vocabulary = vocabulary
+
+    @classmethod
+    def from_graph(cls, graph: SpatialKeywordGraph) -> "InvertedIndex":
+        """Build the index by one pass over the graph's nodes."""
+        lists: dict[int, list[int]] = {}
+        for u in range(graph.num_nodes):
+            for kid in graph.node_keywords(u):
+                lists.setdefault(kid, []).append(u)
+        postings = {
+            kid: np.asarray(nodes, dtype=np.int64) for kid, nodes in lists.items()
+        }
+        return cls(postings, Vocabulary(graph))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """Document-frequency statistics backing Strategy 2."""
+        return self._vocabulary
+
+    def postings(self, keyword_id: int) -> np.ndarray:
+        """Sorted node ids containing *keyword_id* (empty when absent)."""
+        return self._postings.get(keyword_id, _EMPTY)
+
+    def document_frequency(self, keyword_id: int) -> int:
+        """Posting-list length of *keyword_id*."""
+        return len(self.postings(keyword_id))
+
+    def nodes_covering_any(self, keyword_ids: Iterable[int]) -> np.ndarray:
+        """Union of posting lists — the greedy algorithm's ``nodeSet``."""
+        lists = [self.postings(kid) for kid in keyword_ids]
+        lists = [lst for lst in lists if len(lst)]
+        if not lists:
+            return _EMPTY
+        return np.unique(np.concatenate(lists))
+
+    def nodes_covering_all(self, keyword_ids: Iterable[int]) -> np.ndarray:
+        """Intersection of posting lists (nodes covering every keyword)."""
+        ids = list(keyword_ids)
+        if not ids:
+            raise QueryError("nodes_covering_all() requires at least one keyword")
+        result = self.postings(ids[0])
+        for kid in ids[1:]:
+            if len(result) == 0:
+                break
+            result = np.intersect1d(result, self.postings(kid), assume_unique=True)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._postings)

@@ -1,0 +1,184 @@
+"""Fixed-size page storage — the bottom of the disk-index stack.
+
+The paper keeps its inverted file "disk resident" behind a B+-tree; this
+module provides the storage layer: a file (or an in-memory buffer, for
+tests) divided into fixed-size pages.  Every page carries a small header
+with a CRC32 checksum so torn or corrupted pages are detected on read —
+the failure-injection tests exercise exactly that.
+
+Layout of each page::
+
+    bytes 0..3   CRC32 of payload
+    bytes 4..7   payload length (uint32)
+    bytes 8..    payload (up to page_size - 8 bytes)
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+from repro.exceptions import StorageError
+
+__all__ = ["PageStore", "DEFAULT_PAGE_SIZE", "PAGE_HEADER_SIZE"]
+
+DEFAULT_PAGE_SIZE = 4096
+PAGE_HEADER_SIZE = 8
+_HEADER = struct.Struct("<II")
+
+
+class PageStore:
+    """Allocate / read / write fixed-size pages on a file or in memory.
+
+    Pass ``path=None`` for a memory-backed store (unit tests, ephemeral
+    indexes); otherwise the store owns an on-disk file.
+    """
+
+    def __init__(self, path: str | Path | None = None, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size <= PAGE_HEADER_SIZE + 16:
+            raise StorageError(f"page_size {page_size} is too small")
+        self._page_size = page_size
+        self._path = Path(path) if path is not None else None
+        self._file = None
+        self._memory: list[bytes] | None = None
+        self._num_pages = 0
+        self._closed = False
+        if self._path is None:
+            self._memory = []
+        else:
+            # "w+b" truncates: a store always starts empty; reopening an
+            # existing index goes through :meth:`open`.
+            self._file = open(self._path, "w+b")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | Path, page_size: int = DEFAULT_PAGE_SIZE) -> "PageStore":
+        """Open an existing on-disk store for reading and writing."""
+        path = Path(path)
+        if not path.exists():
+            raise StorageError(f"page store {path} does not exist")
+        store = cls.__new__(cls)
+        store._page_size = page_size
+        store._path = path
+        store._memory = None
+        store._file = open(path, "r+b")
+        store._closed = False
+        size = path.stat().st_size
+        if size % page_size:
+            raise StorageError(
+                f"{path} has size {size}, not a multiple of page_size {page_size}"
+            )
+        store._num_pages = size // page_size
+        return store
+
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        """Raw page size, including the 8-byte header."""
+        return self._page_size
+
+    @property
+    def payload_capacity(self) -> int:
+        """Usable bytes per page."""
+        return self._page_size - PAGE_HEADER_SIZE
+
+    @property
+    def num_pages(self) -> int:
+        """Number of allocated pages."""
+        return self._num_pages
+
+    def allocate(self) -> int:
+        """Append an empty page; returns its id."""
+        self._check_open()
+        page_id = self._num_pages
+        empty = self._encode(b"")
+        if self._memory is not None:
+            self._memory.append(empty)
+        else:
+            self._file.seek(page_id * self._page_size)
+            self._file.write(empty)
+        self._num_pages += 1
+        return page_id
+
+    def write_page(self, page_id: int, payload: bytes) -> None:
+        """Replace the payload of *page_id* (checksummed)."""
+        self._check_open()
+        self._check_id(page_id)
+        if len(payload) > self.payload_capacity:
+            raise StorageError(
+                f"payload of {len(payload)} bytes exceeds capacity {self.payload_capacity}"
+            )
+        raw = self._encode(payload)
+        if self._memory is not None:
+            self._memory[page_id] = raw
+        else:
+            self._file.seek(page_id * self._page_size)
+            self._file.write(raw)
+
+    def read_page(self, page_id: int) -> bytes:
+        """Return the payload of *page_id*, verifying its checksum."""
+        self._check_open()
+        self._check_id(page_id)
+        if self._memory is not None:
+            raw = self._memory[page_id]
+        else:
+            self._file.seek(page_id * self._page_size)
+            raw = self._file.read(self._page_size)
+        if len(raw) < PAGE_HEADER_SIZE:
+            raise StorageError(f"page {page_id} is truncated")
+        crc, length = _HEADER.unpack_from(raw)
+        if length > self.payload_capacity:
+            raise StorageError(f"page {page_id} header declares invalid length {length}")
+        payload = raw[PAGE_HEADER_SIZE : PAGE_HEADER_SIZE + length]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise StorageError(f"page {page_id} failed checksum verification")
+        return payload
+
+    def flush(self) -> None:
+        """Force file contents to the OS (no-op for memory stores)."""
+        if self._file is not None and not self._closed:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Flush and release the backing file."""
+        if self._file is not None and not self._closed:
+            self._file.flush()
+            self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "PageStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def corrupt_page_for_testing(self, page_id: int, offset: int = 0) -> None:
+        """Flip a payload byte — used by failure-injection tests only."""
+        self._check_open()
+        self._check_id(page_id)
+        position = PAGE_HEADER_SIZE + offset
+        if self._memory is not None:
+            raw = bytearray(self._memory[page_id])
+            raw[position] ^= 0xFF
+            self._memory[page_id] = bytes(raw)
+        else:
+            self._file.seek(page_id * self._page_size + position)
+            byte = self._file.read(1)
+            self._file.seek(page_id * self._page_size + position)
+            self._file.write(bytes([byte[0] ^ 0xFF]))
+
+    # ------------------------------------------------------------------
+    def _encode(self, payload: bytes) -> bytes:
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        raw = _HEADER.pack(crc, len(payload)) + payload
+        return raw.ljust(self._page_size, b"\x00")
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("page store is closed")
+
+    def _check_id(self, page_id: int) -> None:
+        if not (0 <= page_id < self._num_pages):
+            raise StorageError(f"page id {page_id} outside 0..{self._num_pages - 1}")

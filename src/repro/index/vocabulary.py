@@ -1,0 +1,80 @@
+"""Vocabulary statistics over node keyword sets.
+
+Optimisation Strategy 2 of the paper exploits *infrequent* query keywords:
+if the least frequent query keyword appears in fewer than a threshold
+fraction of nodes (the paper suggests 1%), the few nodes containing it
+become mandatory waypoints that prune labels aggressively.  This module
+provides the document-frequency bookkeeping behind that strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import QueryError
+from repro.graph.digraph import SpatialKeywordGraph
+
+__all__ = ["Vocabulary", "TermStats"]
+
+
+@dataclass(frozen=True)
+class TermStats:
+    """Statistics for one keyword."""
+
+    keyword_id: int
+    word: str
+    document_frequency: int
+
+
+class Vocabulary:
+    """Document frequencies of every keyword in a graph.
+
+    "Document" means *node*: ``df(t)`` is the number of nodes whose keyword
+    set contains ``t``.
+    """
+
+    def __init__(self, graph: SpatialKeywordGraph) -> None:
+        self._graph = graph
+        counts: dict[int, int] = {}
+        for u in range(graph.num_nodes):
+            for kid in graph.node_keywords(u):
+                counts[kid] = counts.get(kid, 0) + 1
+        self._df = counts
+        self._num_nodes = graph.num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of documents (nodes) the statistics cover."""
+        return self._num_nodes
+
+    def document_frequency(self, keyword_id: int) -> int:
+        """Number of nodes containing *keyword_id* (0 when absent)."""
+        return self._df.get(keyword_id, 0)
+
+    def relative_frequency(self, keyword_id: int) -> float:
+        """``df / num_nodes`` — the fraction used by Strategy 2's threshold."""
+        if self._num_nodes == 0:
+            return 0.0
+        return self.document_frequency(keyword_id) / self._num_nodes
+
+    def is_infrequent(self, keyword_id: int, threshold: float = 0.01) -> bool:
+        """Whether the keyword appears in fewer than ``threshold`` of nodes."""
+        df = self.document_frequency(keyword_id)
+        return 0 < df < max(1.0, threshold * self._num_nodes)
+
+    def least_frequent(self, keyword_ids: list[int]) -> int:
+        """The rarest of *keyword_ids* (ties broken by id for determinism)."""
+        if not keyword_ids:
+            raise QueryError("least_frequent() requires at least one keyword")
+        return min(keyword_ids, key=lambda k: (self.document_frequency(k), k))
+
+    def stats(self, keyword_id: int) -> TermStats:
+        """Full statistics record for one keyword."""
+        return TermStats(
+            keyword_id=keyword_id,
+            word=self._graph.keyword_table.word_of(keyword_id),
+            document_frequency=self.document_frequency(keyword_id),
+        )
+
+    def __len__(self) -> int:
+        return len(self._df)

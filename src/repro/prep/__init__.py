@@ -1,0 +1,18 @@
+"""Pre-processing substrate: all-pairs tau/sigma tables (paper Section 3.1)."""
+
+from repro.prep.dijkstra import (
+    all_pairs_two_criteria,
+    reconstruct_path,
+    single_source_two_criteria,
+)
+from repro.prep.floyd_warshall import NO_PREDECESSOR, floyd_warshall_two_criteria
+from repro.prep.tables import CostTables
+
+__all__ = [
+    "CostTables",
+    "NO_PREDECESSOR",
+    "all_pairs_two_criteria",
+    "floyd_warshall_two_criteria",
+    "reconstruct_path",
+    "single_source_two_criteria",
+]

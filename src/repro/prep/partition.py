@@ -1,0 +1,394 @@
+"""Partition-based pre-processing (the paper's future work, Section 6).
+
+The paper sketches: split the graph into subgraphs, pre-process all-pairs
+scores *within* each subgraph only, and additionally store the best
+objective/budget scores between every pair of **border nodes** (nodes
+with an edge crossing cells).  A cross-cell score is then assembled as
+
+    score(i, j) = min over border exits b1 of cell(i), entries b2 of
+                  cell(j) of  in_cell(i -> b1) + border(b1 -> b2) +
+                  in_cell(b2 -> j)
+
+This trades accuracy for pre-processing cost: the in-cell legs are
+restricted to each cell's induced subgraph, so a path that leaves a cell
+and re-enters it is missed and the assembled score is an **upper bound**
+on the flat table's value (never an underestimate of the true optimum's
+cost... it can only overestimate).  Border-to-border scores are computed
+on the *full* graph, which keeps the error to the two end legs.  The
+accompanying ablation benchmark quantifies the trade-off — build time and
+memory versus score inflation.
+
+:class:`PartitionedCostTables` implements the column/row access protocol
+of :class:`repro.prep.tables.CostTables` (scores only; path
+materialisation needs the flat predecessor matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import PrepError
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.prep.dijkstra import single_source_two_criteria
+from repro.prep.tables import CostTables
+
+__all__ = ["GraphPartition", "partition_graph", "PartitionedCostTables"]
+
+
+@dataclass(frozen=True)
+class GraphPartition:
+    """Assignment of nodes to cells plus the border-node inventory.
+
+    Attributes
+    ----------
+    cell_of:
+        ``cell_of[v]`` is the cell id of node ``v``.
+    cells:
+        Node arrays per cell.
+    border_nodes:
+        Sorted array of all nodes with an edge crossing cells.
+    border_index:
+        Position of each border node in ``border_nodes`` (-1 otherwise).
+    """
+
+    cell_of: np.ndarray
+    cells: tuple[np.ndarray, ...]
+    border_nodes: np.ndarray
+    border_index: np.ndarray
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells the graph was split into."""
+        return len(self.cells)
+
+    def is_border(self, node: int) -> bool:
+        """Whether *node* has an edge into or out of another cell."""
+        return self.border_index[node] >= 0
+
+
+def partition_graph(graph: SpatialKeywordGraph, num_cells: int, seed: int = 0) -> GraphPartition:
+    """Split *graph* into roughly balanced connected cells.
+
+    Greedy multi-source BFS (a light-weight stand-in for METIS, which is
+    unavailable offline): seeds are spread via farthest-point sampling on
+    hop distance, then cells claim unassigned neighbours round-robin, so
+    cells stay connected and balanced within a factor ~2.
+    """
+    n = graph.num_nodes
+    if not 1 <= num_cells <= n:
+        raise PrepError(f"num_cells must be in 1..{n}, got {num_cells}")
+    rng = np.random.default_rng(seed)
+
+    # Undirected adjacency for growth (direction matters for scores, not
+    # for spatial contiguity).
+    neighbours: list[set[int]] = [set() for _ in range(n)]
+    for edge in graph.iter_edges():
+        neighbours[edge.u].add(edge.v)
+        neighbours[edge.v].add(edge.u)
+
+    seeds = _farthest_point_seeds(neighbours, num_cells, rng)
+    cell_of = np.full(n, -1, dtype=np.int64)
+    frontiers: list[list[int]] = [[] for _ in range(num_cells)]
+    for cell, seed_node in enumerate(seeds):
+        cell_of[seed_node] = cell
+        frontiers[cell] = [seed_node]
+
+    assigned = num_cells
+    while assigned < n:
+        grew = False
+        for cell in range(num_cells):
+            frontier = frontiers[cell]
+            next_frontier: list[int] = []
+            claimed = False
+            while frontier and not claimed:
+                node = frontier.pop()
+                for other in neighbours[node]:
+                    if cell_of[other] == -1:
+                        cell_of[other] = cell
+                        next_frontier.append(other)
+                        assigned += 1
+                        claimed = True
+                if frontier or claimed:
+                    next_frontier.append(node) if claimed else None
+            frontiers[cell] = next_frontier + frontier
+            grew = grew or claimed
+        if not grew:
+            # Disconnected remainder: hand leftover nodes to the smallest
+            # cells so every node lands somewhere.
+            leftovers = np.flatnonzero(cell_of == -1)
+            sizes = np.bincount(cell_of[cell_of >= 0], minlength=num_cells)
+            for node in leftovers:
+                cell = int(np.argmin(sizes))
+                cell_of[node] = cell
+                sizes[cell] += 1
+                frontiers[cell].append(int(node))
+                assigned += 1
+
+    cells = tuple(
+        np.flatnonzero(cell_of == cell).astype(np.int64) for cell in range(num_cells)
+    )
+    border_mask = np.zeros(n, dtype=bool)
+    for edge in graph.iter_edges():
+        if cell_of[edge.u] != cell_of[edge.v]:
+            border_mask[edge.u] = True
+            border_mask[edge.v] = True
+    border_nodes = np.flatnonzero(border_mask).astype(np.int64)
+    border_index = np.full(n, -1, dtype=np.int64)
+    border_index[border_nodes] = np.arange(len(border_nodes))
+    return GraphPartition(
+        cell_of=cell_of,
+        cells=cells,
+        border_nodes=border_nodes,
+        border_index=border_index,
+    )
+
+
+def _farthest_point_seeds(
+    neighbours: list[set[int]], num_cells: int, rng: np.random.Generator
+) -> list[int]:
+    """Seed nodes spread out by hop distance (farthest-point heuristic)."""
+    n = len(neighbours)
+    first = int(rng.integers(n))
+    seeds = [first]
+    distance = _bfs_hops(neighbours, first)
+    while len(seeds) < num_cells:
+        # Unreached nodes (inf) are the farthest of all — prefer them so
+        # disconnected components get their own seeds.
+        candidate = int(np.argmax(np.where(np.isfinite(distance), distance, np.inf)))
+        if candidate in seeds:
+            remaining = [v for v in range(n) if v not in seeds]
+            candidate = int(rng.choice(remaining))
+        seeds.append(candidate)
+        distance = np.minimum(distance, _bfs_hops(neighbours, candidate))
+    return seeds
+
+
+def _bfs_hops(neighbours: list[set[int]], source: int) -> np.ndarray:
+    hops = np.full(len(neighbours), np.inf)
+    hops[source] = 0
+    queue = [source]
+    while queue:
+        node = queue.pop(0)
+        for other in neighbours[node]:
+            if hops[other] == np.inf:
+                hops[other] = hops[node] + 1
+                queue.append(int(other))
+    return hops
+
+
+@dataclass
+class PartitionedCostTables:
+    """Cell-local tables plus border-to-border tables (future work, §6).
+
+    Implements the scores-only access protocol of :class:`CostTables`:
+    ``os_tau_col`` / ``bs_tau_col`` / ``os_sigma_col`` / ``bs_sigma_col``
+    and their row twins, plus scalar lookups.  Scores are exact within a
+    cell whenever the optimal path stays inside it, and upper bounds
+    otherwise (see the module docstring).
+    """
+
+    partition: GraphPartition
+    #: Per cell: dense in-cell tables indexed by local position.
+    cell_tables: tuple[CostTables, ...]
+    #: Global position of each node inside its cell.
+    local_index: np.ndarray
+    #: Border x border score matrices on the full graph.
+    border_os_tau: np.ndarray
+    border_bs_tau: np.ndarray
+    border_os_sigma: np.ndarray
+    border_bs_sigma: np.ndarray
+    #: Cached per-target columns (queries hit the same target repeatedly).
+    _column_cache: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: SpatialKeywordGraph,
+        num_cells: int | None = None,
+        seed: int = 0,
+    ) -> "PartitionedCostTables":
+        """Partition *graph* and build all component tables.
+
+        ``num_cells`` defaults to ``sqrt(n) / 2`` — cells of roughly
+        ``2 * sqrt(n)`` nodes, the classic space/accuracy sweet spot.
+        """
+        n = graph.num_nodes
+        if num_cells is None:
+            num_cells = max(2, int(np.sqrt(n) / 2))
+        partition = partition_graph(graph, num_cells, seed=seed)
+
+        local_index = np.zeros(n, dtype=np.int64)
+        subgraphs = []
+        for nodes in partition.cells:
+            local_index[nodes] = np.arange(len(nodes))
+            subgraph, _mapping = graph.induced_subgraph([int(v) for v in nodes])
+            subgraphs.append(subgraph)
+        cell_tables = tuple(
+            CostTables.from_graph(sub, predecessors=False) for sub in subgraphs
+        )
+
+        border = partition.border_nodes
+        k = len(border)
+        border_os_tau = np.full((k, k), np.inf)
+        border_bs_tau = np.full((k, k), np.inf)
+        border_os_sigma = np.full((k, k), np.inf)
+        border_bs_sigma = np.full((k, k), np.inf)
+        for row, node in enumerate(border):
+            os_tau, bs_tau, _pred = single_source_two_criteria(graph, int(node), "objective")
+            bs_sigma, os_sigma, _pred = single_source_two_criteria(graph, int(node), "budget")
+            border_os_tau[row] = os_tau[border]
+            border_bs_tau[row] = bs_tau[border]
+            border_os_sigma[row] = os_sigma[border]
+            border_bs_sigma[row] = bs_sigma[border]
+        return cls(
+            partition=partition,
+            cell_tables=cell_tables,
+            local_index=local_index,
+            border_os_tau=border_os_tau,
+            border_bs_tau=border_bs_tau,
+            border_os_sigma=border_os_sigma,
+            border_bs_sigma=border_bs_sigma,
+        )
+
+    # ------------------------------------------------------------------
+    # scalar lookups
+    # ------------------------------------------------------------------
+    def os_tau(self, i: int, j: int) -> float:
+        """Assembled ``OS(tau_{i,j})`` (exact in-cell, else upper bound)."""
+        return self._score(i, j, "tau")[0]
+
+    def bs_tau(self, i: int, j: int) -> float:
+        """``BS`` of the assembled objective-optimal path."""
+        return self._score(i, j, "tau")[1]
+
+    def os_sigma(self, i: int, j: int) -> float:
+        """``OS`` of the assembled budget-optimal path."""
+        return self._score(i, j, "sigma")[0]
+
+    def bs_sigma(self, i: int, j: int) -> float:
+        """Assembled ``BS(sigma_{i,j})``."""
+        return self._score(i, j, "sigma")[1]
+
+    # ------------------------------------------------------------------
+    # column access (protocol shared with CostTables)
+    # ------------------------------------------------------------------
+    def os_tau_col(self, t: int) -> np.ndarray:
+        """Assembled ``OS(tau_{i,t})`` for every ``i``."""
+        return self._columns(t, "tau")[0]
+
+    def bs_tau_col(self, t: int) -> np.ndarray:
+        """Assembled ``BS`` along tau for every ``i``."""
+        return self._columns(t, "tau")[1]
+
+    def os_sigma_col(self, t: int) -> np.ndarray:
+        """Assembled ``OS`` along sigma for every ``i``."""
+        return self._columns(t, "sigma")[0]
+
+    def bs_sigma_col(self, t: int) -> np.ndarray:
+        """Assembled ``BS(sigma_{i,t})`` for every ``i``."""
+        return self._columns(t, "sigma")[1]
+
+    # ------------------------------------------------------------------
+    # memory accounting (the ablation's headline number)
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Bytes held by every score matrix (cells + border)."""
+        total = 0
+        for tables in self.cell_tables:
+            for name in ("os_tau", "bs_tau", "os_sigma", "bs_sigma"):
+                total += getattr(tables, name).nbytes
+        for matrix in (
+            self.border_os_tau,
+            self.border_bs_tau,
+            self.border_os_sigma,
+            self.border_bs_sigma,
+        ):
+            total += matrix.nbytes
+        return total
+
+    @staticmethod
+    def flat_memory_bytes(num_nodes: int, dtype_bytes: int = 8) -> int:
+        """Bytes a flat :class:`CostTables` needs for the same graph."""
+        return 4 * num_nodes * num_nodes * dtype_bytes
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _in_cell(self, kind: str, cell: int) -> tuple[np.ndarray, np.ndarray]:
+        tables = self.cell_tables[cell]
+        if kind == "tau":
+            return tables.os_tau, tables.bs_tau
+        return tables.os_sigma, tables.bs_sigma
+
+    def _border_matrices(self, kind: str) -> tuple[np.ndarray, np.ndarray]:
+        if kind == "tau":
+            return self.border_os_tau, self.border_bs_tau
+        return self.border_os_sigma, self.border_bs_sigma
+
+    def _cell_border_positions(self, cell: int) -> np.ndarray:
+        """Rows of ``border_nodes`` belonging to *cell*."""
+        nodes = self.partition.cells[cell]
+        positions = self.partition.border_index[nodes]
+        return positions[positions >= 0]
+
+    def _score(self, i: int, j: int, kind: str) -> tuple[float, float]:
+        part = self.partition
+        ci, cj = int(part.cell_of[i]), int(part.cell_of[j])
+        li, lj = int(self.local_index[i]), int(self.local_index[j])
+        primary_best, secondary_best = np.inf, np.inf
+        if ci == cj:
+            os_m, bs_m = self._in_cell(kind, ci)
+            if kind == "tau":
+                primary_best, secondary_best = float(os_m[li, lj]), float(bs_m[li, lj])
+            else:
+                primary_best, secondary_best = float(bs_m[li, lj]), float(os_m[li, lj])
+
+        exits = self._cell_border_positions(ci)
+        entries = self._cell_border_positions(cj)
+        if len(exits) and len(entries):
+            os_i, bs_i = self._in_cell(kind, ci)
+            os_j, bs_j = self._in_cell(kind, cj)
+            border_os, border_bs = self._border_matrices(kind)
+            exit_nodes = part.border_nodes[exits]
+            entry_nodes = part.border_nodes[entries]
+            # legs: i -> exit (in cell), exit -> entry (border), entry -> j.
+            leg1_os = os_i[li, self.local_index[exit_nodes]]
+            leg1_bs = bs_i[li, self.local_index[exit_nodes]]
+            leg3_os = os_j[self.local_index[entry_nodes], lj]
+            leg3_bs = bs_j[self.local_index[entry_nodes], lj]
+            total_os = (
+                leg1_os[:, None] + border_os[np.ix_(exits, entries)] + leg3_os[None, :]
+            )
+            total_bs = (
+                leg1_bs[:, None] + border_bs[np.ix_(exits, entries)] + leg3_bs[None, :]
+            )
+            primary = total_os if kind == "tau" else total_bs
+            secondary = total_bs if kind == "tau" else total_os
+            if primary.size:
+                flat = int(np.argmin(primary))
+                if primary.flat[flat] < primary_best:
+                    primary_best = float(primary.flat[flat])
+                    secondary_best = float(secondary.flat[flat])
+        if kind == "tau":
+            return primary_best, secondary_best
+        return secondary_best, primary_best
+
+    def _columns(self, t: int, kind: str) -> tuple[np.ndarray, np.ndarray]:
+        key = (t, kind)
+        cached = self._column_cache.get(key)
+        if cached is not None:
+            return cached
+        n = len(self.partition.cell_of)
+        os_col = np.full(n, np.inf)
+        bs_col = np.full(n, np.inf)
+        for i in range(n):
+            os_value, bs_value = self._score(i, t, kind)
+            os_col[i] = os_value
+            bs_col[i] = bs_value
+        self._column_cache[key] = (os_col, bs_col)
+        return os_col, bs_col

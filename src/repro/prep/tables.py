@@ -1,0 +1,242 @@
+"""Pre-processed cost tables (Section 3.1 of the paper).
+
+For every ordered node pair ``(vi, vj)`` the paper stores the scores of two
+paths:
+
+* ``tau_{i,j}``   — the path with the smallest **objective** score;
+* ``sigma_{i,j}`` — the path with the smallest **budget** score,
+
+each with *both* its objective score ``OS(.)`` and budget score ``BS(.)``.
+Only these four numbers per pair are consulted by the search algorithms;
+the predecessor matrices are kept (optionally) so that final routes can be
+materialised (Algorithm 1 line 22 "obtain the route utilizing LL").
+
+:class:`CostTables` is the flat O(V^2) realisation the paper uses.  The
+partition-based variant sketched in the paper's future-work section lives
+in :mod:`repro.prep.partition` and implements the same access protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import PrepError
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.prep.dijkstra import all_pairs_two_criteria, reconstruct_path
+from repro.prep.floyd_warshall import floyd_warshall_two_criteria
+
+__all__ = ["CostTables"]
+
+#: Below this node count Floyd-Warshall is competitive and exactly follows
+#: the paper; above it the Dijkstra backend is used.
+_AUTO_FW_THRESHOLD = 256
+
+
+@dataclass
+class CostTables:
+    """Dense all-pairs tables of ``tau`` / ``sigma`` scores.
+
+    Attributes
+    ----------
+    os_tau, bs_tau:
+        Objective and budget score of the objective-optimal path
+        ``tau_{i,j}``, indexed ``[i, j]``; ``inf`` when unreachable.
+    os_sigma, bs_sigma:
+        Objective and budget score of the budget-optimal path
+        ``sigma_{i,j}``.
+    pred_tau, pred_sigma:
+        Optional predecessor matrices for path materialisation.
+    """
+
+    os_tau: np.ndarray
+    bs_tau: np.ndarray
+    os_sigma: np.ndarray
+    bs_sigma: np.ndarray
+    pred_tau: np.ndarray | None = None
+    pred_sigma: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: SpatialKeywordGraph,
+        method: str = "auto",
+        predecessors: bool = True,
+        block_size: int | None = None,
+    ) -> "CostTables":
+        """Compute the tables for *graph*.
+
+        ``method`` is ``"floyd-warshall"`` (the paper's choice, Theta(V^3)),
+        ``"dijkstra"`` (sparse-friendly), or ``"auto"``.
+        """
+        if method == "auto":
+            method = (
+                "floyd-warshall" if graph.num_nodes <= _AUTO_FW_THRESHOLD else "dijkstra"
+            )
+        if method == "floyd-warshall":
+            os_tau, bs_tau, pred_tau = floyd_warshall_two_criteria(graph, "objective")
+            bs_sigma, os_sigma, pred_sigma = floyd_warshall_two_criteria(graph, "budget")
+        elif method == "dijkstra":
+            os_tau, bs_tau, pred_tau = all_pairs_two_criteria(
+                graph, "objective", block_size=block_size
+            )
+            bs_sigma, os_sigma, pred_sigma = all_pairs_two_criteria(
+                graph, "budget", block_size=block_size
+            )
+        else:
+            raise PrepError(f"unknown pre-processing method: {method!r}")
+        return cls(
+            os_tau=os_tau,
+            bs_tau=bs_tau,
+            os_sigma=os_sigma,
+            bs_sigma=bs_sigma,
+            pred_tau=pred_tau if predecessors else None,
+            pred_sigma=pred_sigma if predecessors else None,
+        )
+
+    def __post_init__(self) -> None:
+        n = self.os_tau.shape[0]
+        for name in ("os_tau", "bs_tau", "os_sigma", "bs_sigma"):
+            matrix = getattr(self, name)
+            if matrix.shape != (n, n):
+                raise PrepError(f"{name} has shape {matrix.shape}, expected {(n, n)}")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes the tables were computed for."""
+        return self.os_tau.shape[0]
+
+    @property
+    def has_paths(self) -> bool:
+        """Whether predecessor matrices (hence path reconstruction) exist."""
+        return self.pred_tau is not None
+
+    # ------------------------------------------------------------------
+    # access protocol shared with PartitionedCostTables
+    # ------------------------------------------------------------------
+    def os_tau_col(self, t: int) -> np.ndarray:
+        """``OS(tau_{i,t})`` for all ``i`` — read-only view."""
+        return self.os_tau[:, t]
+
+    def bs_tau_col(self, t: int) -> np.ndarray:
+        """``BS(tau_{i,t})`` for all ``i``."""
+        return self.bs_tau[:, t]
+
+    def os_sigma_col(self, t: int) -> np.ndarray:
+        """``OS(sigma_{i,t})`` for all ``i``."""
+        return self.os_sigma[:, t]
+
+    def bs_sigma_col(self, t: int) -> np.ndarray:
+        """``BS(sigma_{i,t})`` for all ``i``."""
+        return self.bs_sigma[:, t]
+
+    def os_tau_row(self, i: int) -> np.ndarray:
+        """``OS(tau_{i,j})`` for all ``j``."""
+        return self.os_tau[i, :]
+
+    def bs_tau_row(self, i: int) -> np.ndarray:
+        """``BS(tau_{i,j})`` for all ``j``."""
+        return self.bs_tau[i, :]
+
+    def os_sigma_row(self, i: int) -> np.ndarray:
+        """``OS(sigma_{i,j})`` for all ``j``."""
+        return self.os_sigma[i, :]
+
+    def bs_sigma_row(self, i: int) -> np.ndarray:
+        """``BS(sigma_{i,j})`` for all ``j``."""
+        return self.bs_sigma[i, :]
+
+    def reachable(self, i: int, j: int) -> bool:
+        """Whether any path ``i -> j`` exists."""
+        return bool(np.isfinite(self.os_tau[i, j]))
+
+    def tau_path(self, i: int, j: int) -> list[int]:
+        """Materialise the objective-optimal path ``i -> j`` as a node list."""
+        self._require_paths()
+        try:
+            return reconstruct_path(self.pred_tau[i], i, j)  # type: ignore[index]
+        except ValueError as exc:
+            raise PrepError(str(exc)) from exc
+
+    def sigma_path(self, i: int, j: int) -> list[int]:
+        """Materialise the budget-optimal path ``i -> j`` as a node list."""
+        self._require_paths()
+        try:
+            return reconstruct_path(self.pred_sigma[i], i, j)  # type: ignore[index]
+        except ValueError as exc:
+            raise PrepError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal consistency; raise :class:`PrepError` on violation.
+
+        Invariants: zero diagonals; ``OS(tau) <= OS(sigma)`` (tau minimises
+        the objective) and ``BS(sigma) <= BS(tau)`` wherever both exist; the
+        two path families agree on reachability.
+        """
+        n = self.num_nodes
+        diag = np.arange(n)
+        for name in ("os_tau", "bs_tau", "os_sigma", "bs_sigma"):
+            matrix = getattr(self, name)
+            if not np.all(matrix[diag, diag] == 0.0):
+                raise PrepError(f"{name} has a non-zero diagonal")
+        finite = np.isfinite(self.os_tau)
+        if not np.array_equal(finite, np.isfinite(self.os_sigma)):
+            raise PrepError("tau and sigma disagree on reachability")
+        if np.any(self.os_tau[finite] > self.os_sigma[finite] + 1e-9):
+            raise PrepError("OS(tau) exceeds OS(sigma) somewhere: tau is not optimal")
+        if np.any(self.bs_sigma[finite] > self.bs_tau[finite] + 1e-9):
+            raise PrepError("BS(sigma) exceeds BS(tau) somewhere: sigma is not optimal")
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the tables as a compressed numpy archive."""
+        arrays = {
+            "os_tau": self.os_tau,
+            "bs_tau": self.bs_tau,
+            "os_sigma": self.os_sigma,
+            "bs_sigma": self.bs_sigma,
+        }
+        if self.pred_tau is not None:
+            arrays["pred_tau"] = self.pred_tau
+        if self.pred_sigma is not None:
+            arrays["pred_sigma"] = self.pred_sigma
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CostTables":
+        """Load tables previously written by :meth:`save`."""
+        try:
+            data = np.load(path)
+        except OSError as exc:
+            raise PrepError(f"cannot read cost tables from {path}: {exc}") from exc
+        missing = {"os_tau", "bs_tau", "os_sigma", "bs_sigma"} - set(data.files)
+        if missing:
+            raise PrepError(f"{path} misses arrays: {sorted(missing)}")
+        return cls(
+            os_tau=data["os_tau"],
+            bs_tau=data["bs_tau"],
+            os_sigma=data["os_sigma"],
+            bs_sigma=data["bs_sigma"],
+            pred_tau=data["pred_tau"] if "pred_tau" in data.files else None,
+            pred_sigma=data["pred_sigma"] if "pred_sigma" in data.files else None,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require_paths(self) -> None:
+        if self.pred_tau is None or self.pred_sigma is None:
+            raise PrepError(
+                "tables were built with predecessors=False; "
+                "path materialisation is unavailable"
+            )

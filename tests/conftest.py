@@ -1,0 +1,49 @@
+"""Shared fixtures of the test suite.
+
+Heavy artefacts (the Figure-1 engine, a small Flickr-like dataset) are
+session-scoped: they are deterministic and read-only, so every test file
+can share one copy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import KOREngine
+from repro.datasets.flickr import FlickrConfig, FlickrDataset, build_flickr_graph
+from repro.datasets.photos import PhotoStreamConfig
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.graph.generators import figure_1_graph
+
+
+@pytest.fixture(scope="session")
+def fig1_graph() -> SpatialKeywordGraph:
+    """The paper's Figure-1 example graph."""
+    return figure_1_graph()
+
+
+@pytest.fixture(scope="session")
+def fig1_engine(fig1_graph) -> KOREngine:
+    """Figure-1 graph with pre-processed tables and index."""
+    return KOREngine(fig1_graph)
+
+
+@pytest.fixture(scope="session")
+def small_flickr() -> FlickrDataset:
+    """A tiny but fully realistic Flickr-like dataset (~100 locations)."""
+    config = FlickrConfig(
+        photo_stream=PhotoStreamConfig(
+            num_users=120,
+            num_hotspots=50,
+            photos_per_user=(10, 40),
+            extent_km=(3.0, 3.0),
+            seed=42,
+        )
+    )
+    return build_flickr_graph(config)
+
+
+@pytest.fixture(scope="session")
+def small_flickr_engine(small_flickr) -> KOREngine:
+    """Engine over the tiny Flickr-like dataset."""
+    return KOREngine(small_flickr.graph)

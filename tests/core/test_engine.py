@@ -1,0 +1,55 @@
+"""Tests for the KOREngine facade (repro.core.engine)."""
+
+import pytest
+
+from repro.core.engine import ALGORITHMS, KOREngine
+from repro.core.query import KORQuery
+from repro.exceptions import QueryError
+from repro.graph.generators import figure_1_graph
+from repro.index.inverted import InvertedIndex
+from repro.prep.tables import CostTables
+
+
+class TestConstruction:
+    def test_builds_tables_and_index_by_default(self, fig1_graph):
+        engine = KOREngine(fig1_graph)
+        assert engine.tables.num_nodes == fig1_graph.num_nodes
+        assert engine.index.document_frequency(fig1_graph.keyword_table.id_of("t2")) == 3
+
+    def test_accepts_prebuilt_components(self, fig1_graph):
+        tables = CostTables.from_graph(fig1_graph)
+        index = InvertedIndex.from_graph(fig1_graph)
+        engine = KOREngine(fig1_graph, tables=tables, index=index)
+        assert engine.tables is tables
+        assert engine.index is index
+
+    def test_graph_accessor(self, fig1_engine, fig1_graph):
+        assert fig1_engine.graph is fig1_graph
+
+
+class TestDispatch:
+    def test_unknown_algorithm_raises(self, fig1_engine):
+        with pytest.raises(QueryError, match="unknown algorithm"):
+            fig1_engine.query(0, 7, ["t1"], 8.0, algorithm="dijkstra")
+
+    def test_all_listed_algorithms_dispatch(self, fig1_engine):
+        for algorithm in ALGORITHMS:
+            result = fig1_engine.query(0, 7, ["t1"], 8.0, algorithm=algorithm)
+            assert result.found
+
+    def test_params_forwarded(self, fig1_engine):
+        loose = fig1_engine.query(0, 7, ["t1", "t2"], 10.0, algorithm="osscaling", epsilon=0.9)
+        assert loose.feasible
+
+    def test_greedy2_sets_width(self, fig1_engine):
+        result = fig1_engine.query(0, 7, ["t1"], 8.0, algorithm="greedy2")
+        assert result.algorithm == "greedy-2"
+
+    def test_run_accepts_prebuilt_query(self, fig1_engine):
+        query = KORQuery(0, 7, ("t1", "t2"), 10.0)
+        result = fig1_engine.run(query, algorithm="bucketbound")
+        assert result.query is query
+
+    def test_results_report_algorithm(self, fig1_engine):
+        assert fig1_engine.query(0, 7, ["t1"], 8.0, algorithm="osscaling").algorithm == "osscaling"
+        assert fig1_engine.query(0, 7, ["t1"], 8.0, algorithm="exact").algorithm == "exact"

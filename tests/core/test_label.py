@@ -1,0 +1,151 @@
+"""Tests for labels, domination, and label stores (Definitions 5-8)."""
+
+import pytest
+
+from repro.core.label import Label, LabelStore, label_sort_key
+
+
+def make_label(node=0, mask=0, scaled_os=0.0, os=0.0, bs=0.0):
+    return Label(node=node, mask=mask, scaled_os=scaled_os, os=os, bs=bs)
+
+
+class TestDomination:
+    """Definition 6: superset keywords, both scores no larger."""
+
+    def test_dominates_with_equal_scores(self):
+        a = make_label(mask=0b11, scaled_os=5, bs=5)
+        b = make_label(mask=0b01, scaled_os=5, bs=5)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_smaller_scores_dominate(self):
+        a = make_label(mask=0b1, scaled_os=4, bs=4)
+        b = make_label(mask=0b1, scaled_os=5, bs=5)
+        assert a.dominates(b)
+
+    def test_incomparable_masks(self):
+        a = make_label(mask=0b01, scaled_os=1, bs=1)
+        b = make_label(mask=0b10, scaled_os=9, bs=9)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_score_tradeoff_blocks_domination(self):
+        a = make_label(mask=0b1, scaled_os=1, bs=9)
+        b = make_label(mask=0b1, scaled_os=9, bs=1)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_self_domination(self):
+        a = make_label(mask=0b1, scaled_os=1, bs=1)
+        assert a.dominates(a)
+
+    def test_example1_domination(self):
+        """Example 1: L04 = (.., 100, 5, 7) dominates L14 = (.., 120, 6, 11)."""
+        l0 = make_label(node=4, mask=0b111, scaled_os=100, os=5, bs=7)
+        l1 = make_label(node=4, mask=0b111, scaled_os=120, os=6, bs=11)
+        assert l0.dominates(l1)
+
+
+class TestLabelOrder:
+    """Definition 8: more keywords first, then scaled OS, then BS."""
+
+    def test_more_keywords_first(self):
+        rich = make_label(mask=0b111, scaled_os=100, bs=100)
+        poor = make_label(mask=0b001, scaled_os=1, bs=1)
+        assert label_sort_key(rich) < label_sort_key(poor)
+
+    def test_scaled_os_breaks_keyword_ties(self):
+        a = make_label(mask=0b01, scaled_os=10, bs=9)
+        b = make_label(mask=0b10, scaled_os=20, bs=1)
+        assert label_sort_key(a) < label_sort_key(b)
+
+    def test_budget_breaks_os_ties(self):
+        a = make_label(mask=0b1, scaled_os=10, bs=1)
+        b = make_label(mask=0b1, scaled_os=10, bs=2)
+        assert label_sort_key(a) < label_sort_key(b)
+
+    def test_creation_order_makes_key_total(self):
+        a = make_label(mask=0b1, scaled_os=10, bs=1)
+        b = make_label(mask=0b1, scaled_os=10, bs=1)
+        assert label_sort_key(a) != label_sort_key(b)
+        assert label_sort_key(a) < label_sort_key(b)  # a created first
+
+
+class TestChain:
+    def test_chain_nodes_root_to_leaf(self):
+        root = make_label(node=0)
+        mid = Label(node=3, mask=1, scaled_os=1, os=1, bs=1, parent=root)
+        leaf = Label(node=7, mask=3, scaled_os=2, os=2, bs=2, parent=mid)
+        assert [node for node, _via in leaf.chain_nodes()] == [0, 3, 7]
+
+
+class TestLabelStore:
+    def test_insert_and_query(self):
+        store = LabelStore(num_nodes=4)
+        label = make_label(node=2, mask=0b1, scaled_os=5, bs=5)
+        store.insert(label)
+        assert len(store) == 1
+        assert list(store.labels_at(2)) == [label]
+        assert list(store.labels_at(0)) == []
+
+    def test_is_dominated(self):
+        store = LabelStore(num_nodes=4)
+        store.insert(make_label(node=1, mask=0b11, scaled_os=5, bs=5))
+        assert store.is_dominated(make_label(node=1, mask=0b01, scaled_os=6, bs=6))
+        assert not store.is_dominated(make_label(node=1, mask=0b01, scaled_os=4, bs=6))
+        # Same scores at a different node: unrelated.
+        assert not store.is_dominated(make_label(node=2, mask=0b01, scaled_os=6, bs=6))
+
+    def test_insert_evicts_dominated(self):
+        store = LabelStore(num_nodes=4)
+        weak = make_label(node=1, mask=0b01, scaled_os=9, bs=9)
+        store.insert(weak)
+        strong = make_label(node=1, mask=0b11, scaled_os=1, bs=1)
+        evicted = []
+        store.insert(strong, on_evict=evicted.append)
+        assert evicted == [weak]
+        assert not weak.alive
+        assert list(store.labels_at(1)) == [strong]
+
+    def test_skyline_of_incomparable_labels(self):
+        store = LabelStore(num_nodes=2)
+        labels = [
+            make_label(node=0, mask=0b1, scaled_os=1, bs=9),
+            make_label(node=0, mask=0b1, scaled_os=5, bs=5),
+            make_label(node=0, mask=0b1, scaled_os=9, bs=1),
+        ]
+        for label in labels:
+            store.insert(label)
+        assert len(store) == 3
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LabelStore(num_nodes=1, k=0)
+
+
+class TestKDomination:
+    """Section 3.5: a label dies only when k stored labels dominate it."""
+
+    def test_needs_k_dominators(self):
+        store = LabelStore(num_nodes=2, k=2)
+        store.insert(make_label(node=0, mask=0b1, scaled_os=1, bs=1))
+        candidate = make_label(node=0, mask=0b1, scaled_os=5, bs=5)
+        assert not store.is_dominated(candidate)  # only one dominator
+        store.insert(make_label(node=0, mask=0b1, scaled_os=2, bs=2))
+        assert store.is_dominated(candidate)  # now two
+
+    def test_eviction_needs_k_dominators(self):
+        store = LabelStore(num_nodes=2, k=2)
+        weak = make_label(node=0, mask=0b1, scaled_os=9, bs=9)
+        store.insert(weak)
+        store.insert(make_label(node=0, mask=0b1, scaled_os=1, bs=1))
+        assert weak.alive  # one dominator is not enough at k=2
+        store.insert(make_label(node=0, mask=0b1, scaled_os=2, bs=2))
+        assert not weak.alive  # second dominator arrived
+
+    def test_k1_matches_definition6(self):
+        store = LabelStore(num_nodes=2, k=1)
+        weak = make_label(node=0, mask=0b1, scaled_os=9, bs=9)
+        store.insert(weak)
+        store.insert(make_label(node=0, mask=0b1, scaled_os=1, bs=1))
+        assert not weak.alive

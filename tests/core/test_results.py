@@ -1,0 +1,71 @@
+"""Tests for result objects and traces (repro.core.results)."""
+
+from repro.core.query import KORQuery
+from repro.core.results import KkRResult, KORResult, SearchStats, SearchTrace
+from repro.core.route import Route
+from repro.graph.generators import figure_1_graph
+
+
+def make_result(route=None, covers=False, within=False):
+    return KORResult(
+        query=KORQuery(0, 7, ("t1",), 8.0),
+        algorithm="osscaling",
+        route=route,
+        covers_keywords=covers,
+        within_budget=within,
+    )
+
+
+class TestKORResult:
+    def test_feasible_requires_all_three(self):
+        graph = figure_1_graph()
+        route = Route.from_nodes(graph, [0, 3, 4, 7])
+        assert make_result(route, covers=True, within=True).feasible
+        assert not make_result(route, covers=True, within=False).feasible
+        assert not make_result(route, covers=False, within=True).feasible
+        assert not make_result(None, covers=True, within=True).feasible
+
+    def test_scores_inf_when_no_route(self):
+        result = make_result(None)
+        assert result.objective_score == float("inf")
+        assert result.budget_score == float("inf")
+
+    def test_scores_of_found_route(self):
+        graph = figure_1_graph()
+        result = make_result(Route.from_nodes(graph, [0, 3, 4, 7]), True, True)
+        assert result.objective_score == 4.0
+        assert result.budget_score == 7.0
+
+
+class TestKkRResult:
+    def test_found_and_scores(self):
+        graph = figure_1_graph()
+        routes = [Route.from_nodes(graph, [0, 3, 4, 7])]
+        result = KkRResult(
+            query=KORQuery(0, 7, ("t1",), 8.0), algorithm="osscaling-topk", k=2, routes=routes
+        )
+        assert result.found
+        assert result.objective_scores == [4.0]
+
+    def test_empty(self):
+        result = KkRResult(
+            query=KORQuery(0, 7, ("t1",), 8.0), algorithm="osscaling-topk", k=2, routes=[]
+        )
+        assert not result.found
+
+
+class TestSearchTrace:
+    def test_records_and_filters(self):
+        trace = SearchTrace()
+        trace.record("create", 1, 0b1, 10.0, 1.0, 2.0)
+        trace.record("dequeue", 1, 0b1, 10.0, 1.0, 2.0)
+        trace.record("create", 2, 0b11, 20.0, 2.0, 3.0, extra=5.0)
+        assert len(trace.events) == 3
+        assert len(trace.created_labels()) == 2
+        assert trace.of_kind("dequeue")[0].node == 1
+        assert trace.of_kind("create")[1].extra == 5.0
+
+    def test_stats_defaults(self):
+        stats = SearchStats()
+        assert stats.labels_created == 0
+        assert stats.runtime_seconds == 0.0

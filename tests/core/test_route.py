@@ -1,0 +1,67 @@
+"""Tests for route value objects (Definitions 2-3)."""
+
+import pytest
+
+from repro.core.route import Route
+from repro.exceptions import GraphError
+from repro.graph.generators import figure_1_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return figure_1_graph()
+
+
+class TestScoring:
+    def test_definition3_example(self, graph):
+        """OS(<v0,v3,v5,v7>) = 9, BS = 5 — the paper's Definition-3 example."""
+        route = Route.from_nodes(graph, [0, 3, 5, 7])
+        assert route.objective_score == 9.0
+        assert route.budget_score == 5.0
+
+    def test_single_node_route(self, graph):
+        route = Route.from_nodes(graph, [4])
+        assert route.objective_score == 0.0
+        assert route.budget_score == 0.0
+        assert route.num_edges == 0
+
+    def test_walks_may_repeat_nodes(self, graph):
+        """Routes are walks: the paper notes simple paths are not enough."""
+        route = Route.from_nodes(graph, [3, 1, 4, 7])  # fine: a simple path
+        walk = Route.from_nodes(graph, [0, 3, 5, 4, 7])
+        assert walk.num_edges == 4
+        assert route.num_edges == 3
+
+    def test_non_edge_rejected(self, graph):
+        with pytest.raises(GraphError):
+            Route.from_nodes(graph, [0, 7])
+
+    def test_empty_route_rejected(self, graph):
+        with pytest.raises(GraphError, match="at least one node"):
+            Route.from_nodes(graph, [])
+
+    def test_endpoints(self, graph):
+        route = Route.from_nodes(graph, [0, 3, 4, 7])
+        assert route.source == 0
+        assert route.target == 7
+
+
+class TestCoverage:
+    def test_covered_keywords(self, graph):
+        route = Route.from_nodes(graph, [0, 3, 4, 7])
+        words = route.covered_keyword_strings(graph)
+        assert words == frozenset({"t3", "t1", "t4", "t2"})
+
+    def test_covers(self, graph):
+        route = Route.from_nodes(graph, [0, 3, 4, 7])
+        assert route.covers(graph, ("t1", "t2", "t3"))
+        assert not route.covers(graph, ("t5",))
+
+    def test_covers_unknown_keyword_is_false(self, graph):
+        route = Route.from_nodes(graph, [0, 3])
+        assert not route.covers(graph, ("ghost",))
+
+    def test_describe_mentions_names_and_scores(self, graph):
+        text = Route.from_nodes(graph, [0, 3, 4, 7]).describe(graph)
+        assert "v0 -> v3 -> v4 -> v7" in text
+        assert "OS=4" in text and "BS=7" in text

@@ -1,0 +1,54 @@
+"""Tests for photo clustering (repro.datasets.clustering)."""
+
+import pytest
+
+from repro.datasets.clustering import cluster_photos
+from repro.datasets.photos import Photo
+
+
+def photo(user, x, y, tags, t=0.0):
+    return Photo(user_id=user, timestamp=t, x=x, y=y, tags=frozenset(tags))
+
+
+class TestClustering:
+    def test_nearby_photos_merge_into_one_location(self):
+        photos = [
+            photo(0, 0.01, 0.01, {"pub"}),
+            photo(1, 0.02, 0.02, {"pub"}),
+            photo(2, 5.0, 5.0, {"park"}),
+        ]
+        locations, mapping = cluster_photos(photos, cell_km=0.5, min_photos=1, min_tag_users=1)
+        assert len(locations) == 2
+        assert mapping[0] == mapping[1]
+        assert mapping[2] != mapping[0]
+
+    def test_min_photos_filters_sparse_cells(self):
+        photos = [
+            photo(0, 0.0, 0.0, {"a"}),
+            photo(1, 0.01, 0.01, {"a"}),
+            photo(2, 9.0, 9.0, {"b"}),  # alone in its cell
+        ]
+        locations, mapping = cluster_photos(photos, cell_km=0.5, min_photos=2, min_tag_users=1)
+        assert len(locations) == 1
+        assert 2 not in mapping  # dropped photo has no location
+
+    def test_single_user_tags_removed(self):
+        """The paper removes 'noisy tags, such as tags contributed by only
+        one user'."""
+        photos = [
+            photo(0, 0.0, 0.0, {"popular", "private-tag"}),
+            photo(1, 0.01, 0.0, {"popular"}),
+        ]
+        locations, _mapping = cluster_photos(photos, cell_km=0.5, min_photos=1, min_tag_users=2)
+        assert locations[0].tags == frozenset({"popular"})
+
+    def test_location_centroid(self):
+        photos = [photo(0, 1.0, 1.0, {"a"}), photo(1, 2.0, 3.0, {"a"})]
+        locations, _ = cluster_photos(photos, cell_km=10.0, min_photos=1, min_tag_users=1)
+        assert locations[0].x == pytest.approx(1.5)
+        assert locations[0].y == pytest.approx(2.0)
+
+    def test_photo_count_recorded(self):
+        photos = [photo(i, 0.0, 0.0, {"a"}) for i in range(5)]
+        locations, _ = cluster_photos(photos, cell_km=1.0, min_photos=1, min_tag_users=1)
+        assert locations[0].photo_count == 5

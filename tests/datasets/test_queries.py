@@ -1,0 +1,89 @@
+"""Tests for benchmark query generation (repro.datasets.queries)."""
+
+import pytest
+
+from repro.datasets.queries import QuerySetConfig, generate_query_set, generate_query_sets
+from repro.exceptions import DatasetError
+
+
+class TestGeneration:
+    def test_counts_and_keywords(self, small_flickr_engine):
+        graph = small_flickr_engine.graph
+        config = QuerySetConfig(num_queries=10, num_keywords=3, budget_limit=5.0, seed=1)
+        queries = generate_query_set(graph, small_flickr_engine.index, config,
+                                     tables=small_flickr_engine.tables)
+        assert len(queries) == 10
+        for query in queries:
+            assert query.num_keywords == 3
+            assert query.budget_limit == 5.0
+            assert 0 <= query.source < graph.num_nodes
+            assert 0 <= query.target < graph.num_nodes
+
+    def test_keywords_exist_in_graph(self, small_flickr_engine):
+        graph = small_flickr_engine.graph
+        config = QuerySetConfig(num_queries=10, num_keywords=2, seed=2)
+        queries = generate_query_set(graph, small_flickr_engine.index, config,
+                                     tables=small_flickr_engine.tables)
+        for query in queries:
+            for word in query.keywords:
+                assert graph.keyword_table.get(word) is not None
+
+    def test_endpoint_filter_respects_sigma_budget(self, small_flickr_engine):
+        config = QuerySetConfig(
+            num_queries=8, num_keywords=2, budget_limit=5.0,
+            max_sigma_fraction=0.5, seed=3,
+        )
+        queries = generate_query_set(
+            small_flickr_engine.graph, small_flickr_engine.index, config,
+            tables=small_flickr_engine.tables,
+        )
+        for query in queries:
+            sigma = small_flickr_engine.tables.bs_sigma[query.source, query.target]
+            assert sigma <= 0.5 * 5.0 + 1e-9
+
+    def test_keyword_detour_screen(self, small_flickr_engine):
+        """Every query keyword must admit a within-budget detour node."""
+        config = QuerySetConfig(
+            num_queries=8, num_keywords=3, budget_limit=5.0,
+            screen_keyword_detour=True, seed=4,
+        )
+        queries = generate_query_set(
+            small_flickr_engine.graph, small_flickr_engine.index, config,
+            tables=small_flickr_engine.tables,
+        )
+        tables = small_flickr_engine.tables
+        index = small_flickr_engine.index
+        table = small_flickr_engine.graph.keyword_table
+        for query in queries:
+            for word in query.keywords:
+                nodes = index.postings(table.id_of(word))
+                detours = (
+                    tables.bs_sigma[query.source, nodes]
+                    + tables.bs_sigma[nodes, query.target]
+                )
+                assert (detours <= query.budget_limit).any()
+
+    def test_deterministic_given_seed(self, small_flickr_engine):
+        config = QuerySetConfig(num_queries=5, num_keywords=2, seed=7)
+        a = generate_query_set(small_flickr_engine.graph, small_flickr_engine.index,
+                               config, tables=small_flickr_engine.tables)
+        b = generate_query_set(small_flickr_engine.graph, small_flickr_engine.index,
+                               config, tables=small_flickr_engine.tables)
+        assert [(q.source, q.target, q.keywords) for q in a] == [
+            (q.source, q.target, q.keywords) for q in b
+        ]
+
+    def test_too_many_keywords_raises(self, small_flickr_engine):
+        config = QuerySetConfig(num_queries=1, num_keywords=10**6)
+        with pytest.raises(DatasetError, match="cannot sample"):
+            generate_query_set(small_flickr_engine.graph, small_flickr_engine.index,
+                               config, tables=small_flickr_engine.tables)
+
+    def test_battery_generates_all_keyword_counts(self, small_flickr_engine):
+        sets = generate_query_sets(
+            small_flickr_engine.graph, small_flickr_engine.index,
+            keyword_counts=(2, 4), num_queries=3,
+            tables=small_flickr_engine.tables,
+        )
+        assert set(sets) == {2, 4}
+        assert all(len(queries) == 3 for queries in sets.values())

@@ -1,0 +1,56 @@
+"""Tests for the Zipf tag vocabulary (repro.datasets.tags)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.tags import TagVocabulary
+
+
+class TestVocabulary:
+    def test_default_size_matches_paper(self):
+        assert len(TagVocabulary()) == 9785  # the paper's tag count
+
+    def test_words_are_distinct(self):
+        vocabulary = TagVocabulary(num_tags=500)
+        assert len(set(vocabulary.words)) == 500
+
+    def test_probabilities_sum_to_one(self):
+        vocabulary = TagVocabulary(num_tags=100)
+        assert vocabulary.probabilities.sum() == pytest.approx(1.0)
+
+    def test_zipf_shape(self):
+        """Rank-1 tag must be far more likely than rank-100."""
+        vocabulary = TagVocabulary(num_tags=100, exponent=1.0)
+        probs = vocabulary.probabilities
+        assert probs[0] / probs[99] == pytest.approx(100.0, rel=0.01)
+
+    def test_exponent_controls_skew(self):
+        flat = TagVocabulary(num_tags=100, exponent=0.2).probabilities
+        steep = TagVocabulary(num_tags=100, exponent=2.0).probabilities
+        assert steep[0] > flat[0]
+
+
+class TestSampling:
+    def test_sample_returns_distinct_words(self):
+        vocabulary = TagVocabulary(num_tags=50, seed=1)
+        rng = np.random.default_rng(0)
+        words = vocabulary.sample(10, rng)
+        assert len(words) == 10
+        assert len(set(words)) == 10
+
+    def test_sample_one(self):
+        vocabulary = TagVocabulary(num_tags=50, seed=1)
+        rng = np.random.default_rng(0)
+        assert vocabulary.sample_one(rng) in set(vocabulary.words)
+
+    def test_sampling_is_skewed_towards_head(self):
+        vocabulary = TagVocabulary(num_tags=1000, exponent=1.0, seed=0)
+        rng = np.random.default_rng(7)
+        head = set(vocabulary.words[:100])
+        hits = sum(vocabulary.sample_one(rng) in head for _ in range(500))
+        assert hits > 250  # head of the Zipf gets most draws
+
+    def test_deterministic_given_seed(self):
+        a = TagVocabulary(num_tags=100, seed=5)
+        b = TagVocabulary(num_tags=100, seed=5)
+        assert a.words == b.words

@@ -1,0 +1,119 @@
+"""Unit tests for incremental graph construction (repro.graph.builder)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+def two_node_builder() -> GraphBuilder:
+    builder = GraphBuilder()
+    builder.add_node(keywords=["pub"])
+    builder.add_node(keywords=["mall"])
+    return builder
+
+
+class TestNodes:
+    def test_node_ids_are_sequential(self):
+        builder = GraphBuilder()
+        assert builder.add_node() == 0
+        assert builder.add_node() == 1
+        assert builder.num_nodes == 2
+
+    def test_default_names_are_v_prefixed(self):
+        builder = two_node_builder()
+        builder.add_edge(0, 1, 1.0, 1.0)
+        graph = builder.build()
+        assert graph.name_of(0) == "v0"
+        assert graph.name_of(1) == "v1"
+
+    def test_coordinates_must_be_consistent(self):
+        builder = GraphBuilder()
+        builder.add_node(x=0.0, y=0.0)
+        with pytest.raises(GraphError, match="consistently"):
+            builder.add_node()
+
+    def test_partial_coordinates_rejected(self):
+        with pytest.raises(GraphError, match="both x and y"):
+            GraphBuilder().add_node(x=1.0)
+
+    def test_add_keywords_extends_existing_node(self):
+        builder = two_node_builder()
+        builder.add_keywords(0, ["cafe"])
+        builder.add_edge(0, 1, 1.0, 1.0)
+        graph = builder.build()
+        assert graph.node_keyword_strings(0) == frozenset({"pub", "cafe"})
+
+    def test_add_keywords_to_unknown_node_raises(self):
+        with pytest.raises(GraphError, match="unknown node"):
+            two_node_builder().add_keywords(9, ["x"])
+
+
+class TestEdges:
+    def test_self_loop_rejected(self):
+        builder = two_node_builder()
+        with pytest.raises(GraphError, match="self-loop"):
+            builder.add_edge(0, 0, 1.0, 1.0)
+
+    @pytest.mark.parametrize("objective,budget", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0), (1.0, -2.0)])
+    def test_non_positive_weights_rejected(self, objective, budget):
+        builder = two_node_builder()
+        with pytest.raises(GraphError, match="must be > 0"):
+            builder.add_edge(0, 1, objective, budget)
+
+    def test_duplicate_edge_rejected_without_overwrite(self):
+        builder = two_node_builder()
+        builder.add_edge(0, 1, 1.0, 1.0)
+        with pytest.raises(GraphError, match="duplicate edge"):
+            builder.add_edge(0, 1, 2.0, 2.0)
+
+    def test_overwrite_replaces_weights(self):
+        builder = two_node_builder()
+        builder.add_edge(0, 1, 1.0, 1.0)
+        builder.add_edge(0, 1, 2.0, 3.0, overwrite=True)
+        graph = builder.build()
+        assert graph.edge(0, 1) == (2.0, 3.0)
+
+    def test_edge_to_unknown_node_rejected(self):
+        builder = two_node_builder()
+        with pytest.raises(GraphError, match="unknown node"):
+            builder.add_edge(0, 5, 1.0, 1.0)
+
+    def test_bidirectional_edge_adds_both_arcs(self):
+        builder = two_node_builder()
+        builder.add_bidirectional_edge(0, 1, 1.5, 2.5)
+        graph = builder.build()
+        assert graph.edge(0, 1) == (1.5, 2.5)
+        assert graph.edge(1, 0) == (1.5, 2.5)
+
+
+class TestBuild:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError, match="empty graph"):
+            GraphBuilder().build()
+
+    def test_edgeless_graph_rejected(self):
+        builder = GraphBuilder()
+        builder.add_node()
+        with pytest.raises(GraphError, match="no edges"):
+            builder.build()
+
+    def test_build_freezes_counts(self):
+        builder = two_node_builder()
+        builder.add_edge(0, 1, 1.0, 1.0)
+        graph = builder.build()
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+
+    def test_shared_keyword_table_is_reused(self):
+        from repro.graph.keywords import KeywordTable
+
+        table = KeywordTable()
+        table.intern("existing")
+        builder = GraphBuilder(keyword_table=table)
+        builder.add_node(keywords=["pub"])
+        builder.add_node()
+        builder.add_edge(0, 1, 1.0, 1.0)
+        graph = builder.build()
+        assert graph.keyword_table.get("existing") == 0
+        assert graph.keyword_table.get("pub") == 1

@@ -1,0 +1,59 @@
+"""Tests for networkx interop (repro.graph.interop)."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import figure_1_graph
+from repro.graph.interop import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_structure_preserved(self):
+        graph = figure_1_graph()
+        nxg = to_networkx(graph)
+        assert nxg.number_of_nodes() == graph.num_nodes
+        assert nxg.number_of_edges() == graph.num_edges
+
+    def test_edge_attributes(self):
+        graph = figure_1_graph()
+        nxg = to_networkx(graph)
+        assert nxg[0][3]["objective"] == 2.0
+        assert nxg[0][3]["budget"] == 2.0
+
+    def test_shortest_path_agrees_with_tables(self):
+        """networkx as an oracle for the tau table."""
+        from repro.prep.tables import CostTables
+
+        graph = figure_1_graph()
+        tables = CostTables.from_graph(graph)
+        nxg = to_networkx(graph)
+        length = nx.shortest_path_length(nxg, 0, 7, weight="objective")
+        assert length == tables.os_tau[0, 7]
+
+
+class TestFromNetworkx:
+    def test_round_trip(self):
+        graph = figure_1_graph()
+        back, mapping = from_networkx(to_networkx(graph))
+        assert back.num_nodes == graph.num_nodes
+        assert back.num_edges == graph.num_edges
+        for u in range(graph.num_nodes):
+            assert back.node_keyword_strings(mapping[u]) == graph.node_keyword_strings(u)
+        for e in graph.iter_edges():
+            assert back.edge(mapping[e.u], mapping[e.v]) == (e.objective, e.budget)
+
+    def test_manual_digraph(self):
+        nxg = nx.DiGraph()
+        nxg.add_node("a", keywords=["pub"])
+        nxg.add_node("b", keywords=["mall"])
+        nxg.add_edge("a", "b", objective=1.0, budget=2.0)
+        graph, mapping = from_networkx(nxg)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+        assert graph.node_keyword_strings(mapping["a"]) == frozenset({"pub"})
+
+    def test_missing_weights_raise(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge(0, 1)  # no weights
+        with pytest.raises(Exception):
+            from_networkx(nxg)

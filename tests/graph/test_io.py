@@ -1,0 +1,81 @@
+"""Round-trip tests for graph serialisation (repro.graph.io)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import figure_1_graph, grid_graph
+from repro.graph.io import load_json, load_npz, save_json, save_npz
+
+
+def graphs_equal(a, b) -> bool:
+    if a.num_nodes != b.num_nodes or a.num_edges != b.num_edges:
+        return False
+    for u in range(a.num_nodes):
+        if a.node_keyword_strings(u) != b.node_keyword_strings(u):
+            return False
+        if a.name_of(u) != b.name_of(u):
+            return False
+        if a.coordinates(u) != b.coordinates(u):
+            return False
+        if a.out_edges(u) != b.out_edges(u):
+            return False
+    return True
+
+
+class TestJsonRoundTrip:
+    def test_figure1(self, tmp_path):
+        graph = figure_1_graph()
+        path = tmp_path / "g.json"
+        save_json(graph, path)
+        assert graphs_equal(graph, load_json(path))
+
+    def test_with_coordinates(self, tmp_path):
+        graph = grid_graph(3, 2)
+        path = tmp_path / "g.json"
+        save_json(graph, path)
+        assert graphs_equal(graph, load_json(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphError, match="cannot read"):
+            load_json(tmp_path / "missing.json")
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError):
+            load_json(path)
+
+    def test_wrong_format_marker_raises(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(GraphError, match="not a repro graph"):
+            load_json(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text('{"format": "repro-graph", "version": 99, "nodes": [], "edges": []}')
+        with pytest.raises(GraphError, match="version"):
+            load_json(path)
+
+
+class TestNpzRoundTrip:
+    def test_figure1(self, tmp_path):
+        graph = figure_1_graph()
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        assert graphs_equal(graph, load_npz(path))
+
+    def test_with_coordinates(self, tmp_path):
+        graph = grid_graph(2, 4)
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        assert graphs_equal(graph, load_npz(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphError, match="cannot read"):
+            load_npz(tmp_path / "missing.npz")
+
+    def test_small_flickr_round_trip(self, tmp_path, small_flickr):
+        path = tmp_path / "flickr.npz"
+        save_npz(small_flickr.graph, path)
+        assert graphs_equal(small_flickr.graph, load_npz(path))

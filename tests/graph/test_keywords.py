@@ -1,0 +1,83 @@
+"""Unit tests for keyword interning (repro.graph.keywords)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.keywords import KeywordTable
+
+
+class TestIntern:
+    def test_first_keyword_gets_id_zero(self):
+        table = KeywordTable()
+        assert table.intern("pub") == 0
+
+    def test_ids_are_dense_and_first_seen_ordered(self):
+        table = KeywordTable()
+        assert [table.intern(w) for w in ("a", "b", "c")] == [0, 1, 2]
+
+    def test_interning_twice_returns_same_id(self):
+        table = KeywordTable()
+        first = table.intern("pub")
+        assert table.intern("pub") == first
+        assert len(table) == 1
+
+    def test_intern_many_returns_id_set(self):
+        table = KeywordTable()
+        ids = table.intern_many(["a", "b", "a"])
+        assert ids == frozenset({0, 1})
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(GraphError):
+            KeywordTable().intern("")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(GraphError):
+            KeywordTable().intern(7)  # type: ignore[arg-type]
+
+
+class TestLookup:
+    def test_id_of_known_word(self):
+        table = KeywordTable()
+        table.intern("mall")
+        assert table.id_of("mall") == 0
+
+    def test_id_of_unknown_word_raises(self):
+        with pytest.raises(GraphError, match="unknown keyword"):
+            KeywordTable().id_of("ghost")
+
+    def test_get_returns_none_for_unknown(self):
+        assert KeywordTable().get("ghost") is None
+
+    def test_word_of_round_trips(self):
+        table = KeywordTable()
+        for word in ("x", "y", "z"):
+            table.intern(word)
+        assert [table.word_of(i) for i in range(3)] == ["x", "y", "z"]
+
+    def test_word_of_out_of_range_raises(self):
+        table = KeywordTable()
+        table.intern("a")
+        with pytest.raises(GraphError):
+            table.word_of(5)
+        with pytest.raises(GraphError):
+            table.word_of(-1)
+
+    def test_words_of_maps_sets(self):
+        table = KeywordTable()
+        ids = table.intern_many(["p", "q"])
+        assert table.words_of(ids) == frozenset({"p", "q"})
+
+
+class TestProtocols:
+    def test_len_contains_iter(self):
+        table = KeywordTable()
+        table.intern_many(["a", "b"])
+        assert len(table) == 2
+        assert "a" in table and "c" not in table
+        assert list(table) == ["a", "b"]
+        assert table.words == ("a", "b")
+
+    def test_contains_rejects_non_strings(self):
+        table = KeywordTable()
+        table.intern("a")
+        assert 0 not in table  # id is not a word

@@ -1,0 +1,87 @@
+"""Tests for structural validation (repro.graph.validation)."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import figure_1_graph, grid_graph, line_graph
+from repro.graph.validation import (
+    is_strongly_connected,
+    largest_scc,
+    reachable_from,
+    strongly_connected_components,
+    validate_graph,
+)
+
+
+def two_scc_graph():
+    """Nodes {0,1} form one SCC; {2,3,4} another; one bridge 1 -> 2."""
+    builder = GraphBuilder()
+    for _ in range(5):
+        builder.add_node(keywords=["k"])
+    builder.add_edge(0, 1, 1.0, 1.0)
+    builder.add_edge(1, 0, 1.0, 1.0)
+    builder.add_edge(1, 2, 1.0, 1.0)
+    builder.add_edge(2, 3, 1.0, 1.0)
+    builder.add_edge(3, 4, 1.0, 1.0)
+    builder.add_edge(4, 2, 1.0, 1.0)
+    return builder.build()
+
+
+class TestReachability:
+    def test_reachable_from_line_start(self):
+        graph = line_graph(4)
+        assert reachable_from(graph, 0) == {0, 1, 2, 3}
+
+    def test_reachable_from_line_end(self):
+        graph = line_graph(4)
+        assert reachable_from(graph, 3) == {3}
+
+    def test_grid_strongly_connected(self):
+        assert is_strongly_connected(grid_graph(3, 3))
+
+    def test_line_not_strongly_connected(self):
+        assert not is_strongly_connected(line_graph(3))
+
+
+class TestScc:
+    def test_components_of_two_scc_graph(self):
+        components = {frozenset(c) for c in strongly_connected_components(two_scc_graph())}
+        assert components == {frozenset({0, 1}), frozenset({2, 3, 4})}
+
+    def test_figure1_components_cover_all_nodes(self):
+        graph = figure_1_graph()
+        components = strongly_connected_components(graph)
+        assert sorted(v for c in components for v in c) == list(range(graph.num_nodes))
+
+    def test_largest_scc_extraction(self):
+        sub, mapping = largest_scc(two_scc_graph())
+        assert sub.num_nodes == 3
+        assert set(mapping) == {2, 3, 4}
+        assert is_strongly_connected(sub)
+
+    def test_deep_graph_does_not_recurse(self):
+        # 3000-node cycle: recursion-based Kosaraju would blow the stack.
+        builder = GraphBuilder()
+        n = 3000
+        for _ in range(n):
+            builder.add_node()
+        for i in range(n):
+            builder.add_edge(i, (i + 1) % n, 1.0, 1.0)
+        components = strongly_connected_components(builder.build())
+        assert len(components) == 1 and len(components[0]) == n
+
+
+class TestValidateGraph:
+    def test_clean_graph_is_ok(self):
+        report = validate_graph(grid_graph(3, 3, keywords={0: ["a"]}))
+        assert report.strongly_connected
+        assert report.ok
+
+    def test_line_graph_warns_about_sink_and_connectivity(self):
+        report = validate_graph(line_graph(3, keywords=[["a"], [], []]))
+        assert not report.ok
+        assert report.num_sinks == 1
+        assert not report.strongly_connected
+
+    def test_keywordless_graph_warns(self):
+        report = validate_graph(grid_graph(2, 2))
+        assert report.num_keywordless == 4
+        assert any("no node carries" in w for w in report.warnings)

@@ -1,0 +1,100 @@
+"""Tests for the paged B+-tree (repro.index.btree)."""
+
+import pytest
+
+from repro.index.btree import BPlusTree
+from repro.index.buffer import BufferPool
+from repro.index.pages import PageStore
+
+
+def make_tree(page_size=256, capacity=16) -> BPlusTree:
+    return BPlusTree(BufferPool(PageStore(page_size=page_size), capacity=capacity))
+
+
+class TestBasicOperations:
+    def test_get_missing_key_returns_none(self):
+        assert make_tree().get(b"nope") is None
+
+    def test_insert_then_get(self):
+        tree = make_tree()
+        tree.insert(b"key", b"value")
+        assert tree.get(b"key") == b"value"
+
+    def test_insert_overwrites(self):
+        tree = make_tree()
+        tree.insert(b"k", b"v1")
+        tree.insert(b"k", b"v2")
+        assert tree.get(b"k") == b"v2"
+
+    def test_contains(self):
+        tree = make_tree()
+        tree.insert(b"here", b"x")
+        assert b"here" in tree
+        assert b"gone" not in tree
+
+    def test_delete_existing(self):
+        tree = make_tree()
+        tree.insert(b"k", b"v")
+        assert tree.delete(b"k") is True
+        assert tree.get(b"k") is None
+
+    def test_delete_missing_returns_false(self):
+        assert make_tree().delete(b"ghost") is False
+
+
+class TestSplitsAndScale:
+    def test_many_keys_force_splits(self):
+        tree = make_tree(page_size=128)
+        items = {f"key-{i:04d}".encode(): f"val-{i}".encode() for i in range(300)}
+        for key, value in items.items():
+            tree.insert(key, value)
+        assert tree.depth() > 1
+        for key, value in items.items():
+            assert tree.get(key) == value
+
+    def test_reverse_insertion_order(self):
+        tree = make_tree(page_size=128)
+        for i in reversed(range(200)):
+            tree.insert(f"{i:05d}".encode(), str(i).encode())
+        assert [int(k) for k, _v in tree.items()] == list(range(200))
+
+    def test_items_sorted(self):
+        tree = make_tree()
+        for key in (b"m", b"a", b"z", b"c"):
+            tree.insert(key, key)
+        assert [k for k, _v in tree.items()] == [b"a", b"c", b"m", b"z"]
+
+
+class TestRangeScan:
+    def test_range_inclusive_start_exclusive_end(self):
+        tree = make_tree()
+        for i in range(10):
+            tree.insert(bytes([i]), bytes([i]))
+        keys = [k for k, _v in tree.range(bytes([3]), bytes([7]))]
+        assert keys == [bytes([3]), bytes([4]), bytes([5]), bytes([6])]
+
+    def test_open_ended_ranges(self):
+        tree = make_tree()
+        for key in (b"a", b"b", b"c"):
+            tree.insert(key, key)
+        assert [k for k, _v in tree.range(None, b"b")] == [b"a"]
+        assert [k for k, _v in tree.range(b"b", None)] == [b"b", b"c"]
+
+    def test_empty_tree_scans(self):
+        assert list(make_tree().items()) == []
+
+
+class TestPersistence:
+    def test_flush_and_reopen(self, tmp_path):
+        path = tmp_path / "tree.pages"
+        store = PageStore(path, page_size=256)
+        tree = BPlusTree(BufferPool(store, capacity=8))
+        for i in range(50):
+            tree.insert(f"{i:03d}".encode(), str(i * i).encode())
+        tree.flush()
+        store.close()
+
+        reopened_store = PageStore.open(path, page_size=256)
+        reopened = BPlusTree(BufferPool(reopened_store, capacity=8))
+        for i in range(50):
+            assert reopened.get(f"{i:03d}".encode()) == str(i * i).encode()

@@ -1,0 +1,74 @@
+"""Tests for the LRU buffer pool (repro.index.buffer)."""
+
+import pytest
+
+from repro.index.buffer import BufferPool
+from repro.index.pages import PageStore
+
+
+def make_pool(capacity=2, page_size=128):
+    store = PageStore(page_size=page_size)
+    return BufferPool(store, capacity=capacity), store
+
+
+class TestCaching:
+    def test_read_through(self):
+        pool, _store = make_pool()
+        page = pool.allocate()
+        pool.put(page, b"data")
+        assert pool.get(page) == b"data"
+
+    def test_repeated_get_hits_cache(self):
+        pool, _store = make_pool()
+        page = pool.allocate()
+        pool.put(page, b"x")
+        pool.get(page)
+        before = pool.stats.hits
+        pool.get(page)
+        assert pool.stats.hits == before + 1
+
+    def test_capacity_bound_evicts_lru(self):
+        pool, _store = make_pool(capacity=2)
+        pages = [pool.allocate() for _ in range(3)]
+        for i, page in enumerate(pages):
+            pool.put(page, bytes([i]))
+        pool.flush()
+        pool.get(pages[0])
+        pool.get(pages[1])
+        pool.get(pages[2])  # evicts pages[0]
+        misses_before = pool.stats.misses
+        pool.get(pages[0])  # must re-read from the store
+        assert pool.stats.misses == misses_before + 1
+
+    def test_hit_rate_statistics(self):
+        pool, _store = make_pool()
+        page = pool.allocate()
+        pool.put(page, b"y")
+        for _ in range(9):
+            pool.get(page)
+        assert 0.0 <= pool.stats.hit_rate <= 1.0
+
+
+class TestWriteBack:
+    def test_dirty_page_flushed_to_store(self):
+        pool, store = make_pool()
+        page = pool.allocate()
+        pool.put(page, b"dirty")
+        pool.flush()
+        assert store.read_page(page) == b"dirty"
+
+    def test_eviction_writes_back_dirty_pages(self):
+        pool, store = make_pool(capacity=1)
+        a = pool.allocate()
+        b = pool.allocate()
+        pool.put(a, b"first")
+        pool.put(b, b"second")  # evicts a, which must be written back
+        assert store.read_page(a) == b"first"
+
+    def test_writebacks_counted(self):
+        pool, _store = make_pool(capacity=1)
+        a, b = pool.allocate(), pool.allocate()
+        pool.put(a, b"one")
+        pool.put(b, b"two")
+        pool.flush()
+        assert pool.stats.writebacks >= 1

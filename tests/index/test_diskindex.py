@@ -1,0 +1,97 @@
+"""Tests for the disk-resident inverted file (repro.index.diskindex)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import figure_1_graph
+from repro.index.diskindex import DiskInvertedIndex, decode_postings, encode_postings
+from repro.index.inverted import InvertedIndex
+
+
+class TestPostingCodec:
+    def test_round_trip(self):
+        ids = np.asarray([0, 1, 5, 130, 131, 100000], dtype=np.int64)
+        assert decode_postings(encode_postings(ids), len(ids)).tolist() == ids.tolist()
+
+    def test_empty_list(self):
+        assert decode_postings(encode_postings(np.empty(0, dtype=np.int64)), 0).tolist() == []
+
+    def test_unsorted_input_rejected(self):
+        from repro.exceptions import StorageError
+
+        with pytest.raises(StorageError, match="sorted"):
+            encode_postings(np.asarray([5, 3], dtype=np.int64))
+
+    def test_gap_encoding_is_compact(self):
+        # 100 consecutive ids encode to about one byte each.
+        ids = np.arange(1000, 1100, dtype=np.int64)
+        blob = encode_postings(ids)
+        assert len(blob) < 110
+
+
+class TestDiskIndex:
+    def test_equivalent_to_memory_index(self, tmp_path):
+        """The paper's disk index and the fast in-memory one must agree."""
+        graph = figure_1_graph()
+        memory = InvertedIndex.from_graph(graph)
+        disk = DiskInvertedIndex.build(graph, tmp_path / "idx.pages")
+        try:
+            for kid in range(len(graph.keyword_table)):
+                assert disk.postings(kid).tolist() == memory.postings(kid).tolist()
+                assert disk.document_frequency(kid) == memory.document_frequency(kid)
+        finally:
+            disk.close()
+
+    def test_equivalent_on_realistic_dataset(self, tmp_path, small_flickr):
+        graph = small_flickr.graph
+        memory = InvertedIndex.from_graph(graph)
+        disk = DiskInvertedIndex.build(graph, tmp_path / "flickr.pages")
+        try:
+            for kid in range(len(graph.keyword_table)):
+                assert disk.postings(kid).tolist() == memory.postings(kid).tolist()
+        finally:
+            disk.close()
+
+    def test_absent_keyword(self, tmp_path):
+        disk = DiskInvertedIndex.build(figure_1_graph(), tmp_path / "i.pages")
+        try:
+            assert disk.postings(999).tolist() == []
+            assert disk.document_frequency(999) == 0
+        finally:
+            disk.close()
+
+    def test_boolean_ops(self, tmp_path):
+        graph = figure_1_graph()
+        table = graph.keyword_table
+        disk = DiskInvertedIndex.build(graph, tmp_path / "b.pages")
+        try:
+            any_nodes = disk.nodes_covering_any([table.id_of("t1"), table.id_of("t4")])
+            assert sorted(any_nodes.tolist()) == [3, 4, 6]
+        finally:
+            disk.close()
+
+    def test_memory_backed_build(self):
+        """path=None keeps the whole 'disk' index in memory (for tests)."""
+        graph = figure_1_graph()
+        disk = DiskInvertedIndex.build(graph, path=None)
+        try:
+            assert disk.postings(graph.keyword_table.id_of("t2")).tolist() == [2, 5, 7]
+        finally:
+            disk.close()
+
+    def test_long_posting_lists_span_pages(self, tmp_path):
+        """Posting chains longer than one page must reassemble correctly."""
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        n = 3000
+        for i in range(n):
+            builder.add_node(keywords=["common"])
+        for i in range(n - 1):
+            builder.add_edge(i, i + 1, 1.0, 1.0)
+        graph = builder.build()
+        disk = DiskInvertedIndex.build(graph, tmp_path / "big.pages", page_size=256)
+        try:
+            assert disk.postings(graph.keyword_table.id_of("common")).tolist() == list(range(n))
+        finally:
+            disk.close()

@@ -1,0 +1,54 @@
+"""Tests for the in-memory inverted index (repro.index.inverted)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import figure_1_graph
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def index():
+    return InvertedIndex.from_graph(figure_1_graph())
+
+
+@pytest.fixture(scope="module")
+def table():
+    return figure_1_graph().keyword_table
+
+
+class TestPostings:
+    def test_posting_lists_are_sorted_node_ids(self, index, table):
+        postings = index.postings(table.id_of("t2"))
+        assert postings.tolist() == [2, 5, 7]
+
+    def test_single_node_keyword(self, index, table):
+        assert index.postings(table.id_of("t5")).tolist() == [1]
+
+    def test_absent_keyword_has_empty_postings(self, index):
+        postings = index.postings(12345)
+        assert len(postings) == 0
+        assert postings.dtype == np.int64
+
+    def test_document_frequency_matches_posting_length(self, index, table):
+        for word in ("t1", "t2", "t3", "t4", "t5"):
+            kid = table.id_of(word)
+            assert index.document_frequency(kid) == len(index.postings(kid))
+
+
+class TestBooleanOps:
+    def test_nodes_covering_any(self, index, table):
+        nodes = index.nodes_covering_any([table.id_of("t1"), table.id_of("t4")])
+        assert sorted(nodes.tolist()) == [3, 4, 6]
+
+    def test_nodes_covering_all(self, index, table):
+        # No single node carries both t1 and t2 in Figure 1.
+        nodes = index.nodes_covering_all([table.id_of("t1"), table.id_of("t2")])
+        assert nodes.tolist() == []
+
+    def test_nodes_covering_all_single_keyword(self, index, table):
+        nodes = index.nodes_covering_all([table.id_of("t2")])
+        assert nodes.tolist() == [2, 5, 7]
+
+    def test_vocabulary_attached(self, index, table):
+        assert index.vocabulary.document_frequency(table.id_of("t2")) == 3

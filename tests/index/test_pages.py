@@ -1,0 +1,108 @@
+"""Tests for the fixed-size page store (repro.index.pages)."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.index.pages import DEFAULT_PAGE_SIZE, PAGE_HEADER_SIZE, PageStore
+
+
+class TestMemoryStore:
+    def test_allocate_returns_sequential_ids(self):
+        store = PageStore()
+        assert store.allocate() == 0
+        assert store.allocate() == 1
+        assert store.num_pages == 2
+
+    def test_write_read_round_trip(self):
+        store = PageStore()
+        page = store.allocate()
+        store.write_page(page, b"hello world")
+        assert store.read_page(page) == b"hello world"
+
+    def test_overwrite_replaces_payload(self):
+        store = PageStore()
+        page = store.allocate()
+        store.write_page(page, b"first")
+        store.write_page(page, b"second")
+        assert store.read_page(page) == b"second"
+
+    def test_payload_capacity(self):
+        store = PageStore(page_size=128)
+        assert store.payload_capacity == 128 - PAGE_HEADER_SIZE
+
+    def test_oversized_payload_rejected(self):
+        store = PageStore(page_size=64)
+        page = store.allocate()
+        with pytest.raises(StorageError):
+            store.write_page(page, b"x" * 100)
+
+    def test_unknown_page_id_rejected(self):
+        store = PageStore()
+        with pytest.raises(StorageError):
+            store.read_page(3)
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(StorageError, match="too small"):
+            PageStore(page_size=8)
+
+
+class TestDiskStore:
+    def test_round_trip_on_disk(self, tmp_path):
+        path = tmp_path / "store.pages"
+        with PageStore(path) as store:
+            page = store.allocate()
+            store.write_page(page, b"persisted")
+            assert store.read_page(page) == b"persisted"
+
+    def test_reopen_existing_store(self, tmp_path):
+        path = tmp_path / "store.pages"
+        store = PageStore(path, page_size=256)
+        page = store.allocate()
+        store.write_page(page, b"survivor")
+        store.flush()
+        store.close()
+
+        reopened = PageStore.open(path, page_size=256)
+        assert reopened.read_page(page) == b"survivor"
+        reopened.close()
+
+    def test_open_missing_file_raises(self, tmp_path):
+        with pytest.raises(StorageError, match="does not exist"):
+            PageStore.open(tmp_path / "missing.pages")
+
+    def test_closed_store_rejects_io(self, tmp_path):
+        store = PageStore(tmp_path / "s.pages")
+        store.close()
+        with pytest.raises(StorageError):
+            store.allocate()
+
+
+class TestChecksums:
+    """Failure injection: corrupted pages must be detected, not returned."""
+
+    def test_corrupted_payload_detected(self):
+        store = PageStore()
+        page = store.allocate()
+        store.write_page(page, b"important data")
+        store.corrupt_page_for_testing(page, offset=10)
+        with pytest.raises(StorageError, match="checksum"):
+            store.read_page(page)
+
+    def test_corrupted_disk_page_detected(self, tmp_path):
+        store = PageStore(tmp_path / "c.pages")
+        page = store.allocate()
+        store.write_page(page, b"precious")
+        store.corrupt_page_for_testing(page)
+        with pytest.raises(StorageError, match="checksum"):
+            store.read_page(page)
+
+    def test_uncorrupted_neighbours_stay_readable(self):
+        store = PageStore()
+        a, b = store.allocate(), store.allocate()
+        store.write_page(a, b"aaa")
+        store.write_page(b, b"bbb")
+        store.corrupt_page_for_testing(a)
+        assert store.read_page(b) == b"bbb"
+
+    def test_default_page_size_is_4k(self):
+        assert DEFAULT_PAGE_SIZE == 4096

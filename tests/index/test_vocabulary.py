@@ -1,0 +1,66 @@
+"""Tests for vocabulary statistics (repro.index.vocabulary)."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import figure_1_graph
+from repro.index.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocabulary():
+    return Vocabulary(figure_1_graph())
+
+
+class TestDocumentFrequency:
+    def test_figure1_frequencies(self, vocabulary):
+        graph = figure_1_graph()
+        table = graph.keyword_table
+        # t2 appears on v2, v5, v7; t1 on v3, v6.
+        assert vocabulary.document_frequency(table.id_of("t2")) == 3
+        assert vocabulary.document_frequency(table.id_of("t1")) == 2
+        assert vocabulary.document_frequency(table.id_of("t4")) == 1
+
+    def test_unknown_keyword_has_zero_df(self, vocabulary):
+        assert vocabulary.document_frequency(999) == 0
+
+    def test_relative_frequency(self, vocabulary):
+        graph = figure_1_graph()
+        kid = graph.keyword_table.id_of("t2")
+        assert vocabulary.relative_frequency(kid) == pytest.approx(3 / 8)
+
+
+class TestInfrequency:
+    """Strategy 2's rare-word screen (paper: 'below a frequency threshold,
+    such as appearing in less than 1% nodes')."""
+
+    def test_threshold_semantics(self, vocabulary):
+        graph = figure_1_graph()
+        t4 = graph.keyword_table.id_of("t4")  # df = 1 of 8 nodes
+        assert vocabulary.is_infrequent(t4, threshold=0.5)
+        assert not vocabulary.is_infrequent(t4, threshold=0.01)
+
+    def test_absent_keyword_is_not_infrequent(self, vocabulary):
+        # df = 0 means "not in the graph", a different failure mode.
+        assert not vocabulary.is_infrequent(999, threshold=0.5)
+
+    def test_least_frequent(self, vocabulary):
+        graph = figure_1_graph()
+        table = graph.keyword_table
+        ids = [table.id_of("t1"), table.id_of("t2"), table.id_of("t4")]
+        assert vocabulary.least_frequent(ids) == table.id_of("t4")
+
+    def test_least_frequent_requires_input(self, vocabulary):
+        with pytest.raises(QueryError):
+            vocabulary.least_frequent([])
+
+    def test_multi_keyword_nodes_counted_once(self):
+        builder = GraphBuilder()
+        builder.add_node(keywords=["a", "b"])
+        builder.add_node(keywords=["a"])
+        builder.add_edge(0, 1, 1.0, 1.0)
+        vocabulary = Vocabulary(builder.build())
+        table = builder.keyword_table
+        assert vocabulary.document_frequency(table.id_of("a")) == 2
+        assert vocabulary.document_frequency(table.id_of("b")) == 1

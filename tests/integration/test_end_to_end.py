@@ -1,0 +1,89 @@
+"""End-to-end integration: datasets -> engine -> every algorithm."""
+
+import pytest
+
+from repro.core.query import KORQuery
+from repro.datasets.queries import QuerySetConfig, generate_query_set
+
+
+@pytest.fixture(scope="module")
+def query_battery(small_flickr_engine):
+    config = QuerySetConfig(num_queries=6, num_keywords=3, budget_limit=4.0, seed=13)
+    return generate_query_set(
+        small_flickr_engine.graph,
+        small_flickr_engine.index,
+        config,
+        tables=small_flickr_engine.tables,
+    )
+
+
+class TestFlickrPipeline:
+    def test_all_algorithms_run_on_generated_queries(self, small_flickr_engine, query_battery):
+        for query in query_battery:
+            for algorithm in ("osscaling", "bucketbound", "greedy", "greedy2"):
+                result = small_flickr_engine.run(query, algorithm=algorithm)
+                if result.feasible:
+                    assert result.route.covers(small_flickr_engine.graph, query.keywords)
+                    assert result.route.budget_score <= query.budget_limit + 1e-9
+                    assert result.route.source == query.source
+                    assert result.route.target == query.target
+
+    def test_approximations_agree_on_feasibility(self, small_flickr_engine, query_battery):
+        for query in query_battery:
+            oss = small_flickr_engine.run(query, algorithm="osscaling")
+            bb = small_flickr_engine.run(query, algorithm="bucketbound")
+            assert oss.feasible == bb.feasible
+
+    def test_bucketbound_within_beta_of_osscaling(self, small_flickr_engine, query_battery):
+        for query in query_battery:
+            oss = small_flickr_engine.run(query, algorithm="osscaling", epsilon=0.5)
+            bb = small_flickr_engine.run(query, algorithm="bucketbound", epsilon=0.5, beta=1.2)
+            if oss.feasible:
+                assert bb.route.objective_score <= oss.route.objective_score * 1.2 + 1e-6
+
+    def test_topk_first_route_matches_top1(self, small_flickr_engine, query_battery):
+        for query in query_battery[:3]:
+            top1 = small_flickr_engine.run(query, algorithm="osscaling")
+            topk = small_flickr_engine.top_k(
+                query.source, query.target, query.keywords, query.budget_limit,
+                k=3, algorithm="osscaling",
+            )
+            assert top1.feasible == bool(topk.routes)
+            if top1.feasible:
+                assert topk.routes[0].objective_score <= top1.route.objective_score + 1e-9
+
+
+class TestRoadPipeline:
+    def test_road_graph_end_to_end(self):
+        from repro.core.engine import KOREngine
+        from repro.datasets.road import RoadConfig, build_road_graph
+
+        graph = build_road_graph(RoadConfig(num_nodes=150, seed=9))
+        engine = KOREngine(graph)
+        config = QuerySetConfig(num_queries=4, num_keywords=2, budget_limit=8.0, seed=5)
+        queries = generate_query_set(graph, engine.index, config, tables=engine.tables)
+        feasible = 0
+        for query in queries:
+            result = engine.run(query, algorithm="bucketbound")
+            feasible += result.feasible
+            if result.feasible:
+                assert result.route.covers(graph, query.keywords)
+        assert feasible >= 1  # the screen makes most queries solvable
+
+
+class TestPrebuiltComponentsMatchFreshOnes:
+    def test_saved_and_loaded_tables_give_same_answers(self, small_flickr_engine, tmp_path):
+        from repro.core.engine import KOREngine
+        from repro.prep.tables import CostTables
+
+        path = tmp_path / "tables.npz"
+        small_flickr_engine.tables.save(path)
+        loaded_engine = KOREngine(small_flickr_engine.graph, tables=CostTables.load(path))
+        query = KORQuery(0, small_flickr_engine.graph.num_nodes - 1, (), 6.0)
+        fresh = small_flickr_engine.run(query, algorithm="osscaling")
+        reloaded = loaded_engine.run(query, algorithm="osscaling")
+        assert fresh.feasible == reloaded.feasible
+        if fresh.feasible:
+            assert fresh.route.objective_score == pytest.approx(
+                reloaded.route.objective_score
+            )

@@ -1,0 +1,42 @@
+"""The disk-resident index must be a drop-in for the in-memory one."""
+
+import pytest
+
+from repro.core.engine import KOREngine
+from repro.core.query import KORQuery
+from repro.index.diskindex import DiskInvertedIndex
+
+
+class TestQueryEquivalence:
+    @pytest.fixture(scope="class")
+    def disk_engine(self, small_flickr, small_flickr_engine, tmp_path_factory):
+        path = tmp_path_factory.mktemp("disk") / "index.pages"
+        disk_index = DiskInvertedIndex.build(small_flickr.graph, path)
+        engine = KOREngine(
+            small_flickr.graph,
+            tables=small_flickr_engine.tables,  # share the expensive part
+            index=disk_index,
+        )
+        yield engine
+        disk_index.close()
+
+    def test_same_results_under_both_backends(self, small_flickr_engine, disk_engine):
+        graph = small_flickr_engine.graph
+        words = sorted(graph.keyword_table.words)[:4]
+        query = KORQuery(0, graph.num_nodes - 1, tuple(words[:2]), 5.0)
+        for algorithm in ("osscaling", "bucketbound", "greedy"):
+            memory_result = small_flickr_engine.run(query, algorithm=algorithm)
+            disk_result = disk_engine.run(query, algorithm=algorithm)
+            assert memory_result.feasible == disk_result.feasible
+            if memory_result.feasible:
+                assert memory_result.route.objective_score == pytest.approx(
+                    disk_result.route.objective_score
+                )
+
+    def test_same_infeasibility_reason(self, small_flickr_engine, disk_engine):
+        graph = small_flickr_engine.graph
+        query = KORQuery(0, 1, ("keyword-that-does-not-exist",), 5.0)
+        memory_result = small_flickr_engine.run(query, algorithm="osscaling")
+        disk_result = disk_engine.run(query, algorithm="osscaling")
+        assert not memory_result.feasible and not disk_result.feasible
+        assert memory_result.failure_reason == disk_result.failure_reason

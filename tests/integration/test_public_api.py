@@ -1,0 +1,50 @@
+"""The documented top-level API surface must work as advertised."""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_readme_quickstart_flow(self):
+        graph = repro.figure_1_graph()
+        engine = repro.KOREngine(graph)
+        result = engine.query(
+            source=0, target=7, keywords=["t1", "t2", "t3"],
+            budget_limit=8.0, algorithm="osscaling",
+        )
+        assert "v0 -> v3 -> v4 -> v7" in result.route.describe(graph)
+
+    def test_version_is_pep440ish(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) >= 2
+        assert all(part.isdigit() for part in parts[:2])
+
+    def test_exception_hierarchy(self):
+        for exc in (
+            repro.GraphError,
+            repro.QueryError,
+            repro.PrepError,
+            repro.StorageError,
+            repro.DatasetError,
+        ):
+            assert issubclass(exc, repro.ReproError)
+
+    def test_functional_entry_points_share_results(self, fig1_engine):
+        """Direct function calls match the engine facade."""
+        query = repro.KORQuery(0, 7, ("t1", "t2"), 10.0)
+        direct = repro.os_scaling(
+            fig1_engine.graph, fig1_engine.tables, fig1_engine.index, query
+        )
+        via_engine = fig1_engine.run(query, algorithm="osscaling")
+        assert direct.route.nodes == via_engine.route.nodes
+
+    def test_docstrings_on_public_api(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__" and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert undocumented == []

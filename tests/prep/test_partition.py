@@ -1,0 +1,119 @@
+"""Tests for partition-based pre-processing (paper future work, §6)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrepError
+from repro.graph.generators import figure_1_graph, grid_graph
+from repro.prep.partition import GraphPartition, PartitionedCostTables, partition_graph
+from repro.prep.tables import CostTables
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_graph(7, 7)
+
+
+@pytest.fixture(scope="module")
+def partitioned(grid):
+    return PartitionedCostTables.from_graph(grid, num_cells=4, seed=1)
+
+
+@pytest.fixture(scope="module")
+def flat(grid):
+    return CostTables.from_graph(grid, predecessors=False)
+
+
+class TestPartitioning:
+    def test_every_node_assigned(self, grid):
+        partition = partition_graph(grid, 4)
+        assert sorted(v for cell in partition.cells for v in cell) == list(
+            range(grid.num_nodes)
+        )
+
+    def test_cells_roughly_balanced(self, grid):
+        partition = partition_graph(grid, 4)
+        sizes = [len(cell) for cell in partition.cells]
+        assert max(sizes) <= 3 * min(sizes)
+
+    def test_border_nodes_have_crossing_edges(self, grid):
+        partition = partition_graph(grid, 4)
+        for node in partition.border_nodes:
+            crossing = any(
+                partition.cell_of[node] != partition.cell_of[v]
+                for v, _o, _b in grid.out_edges(int(node))
+            ) or any(
+                partition.cell_of[e.u] != partition.cell_of[int(node)]
+                for e in grid.iter_edges()
+                if e.v == int(node)
+            )
+            assert crossing
+
+    def test_is_border_consistent(self, grid):
+        partition = partition_graph(grid, 4)
+        for node in range(grid.num_nodes):
+            assert partition.is_border(node) == (node in set(partition.border_nodes.tolist()))
+
+    def test_single_cell_has_no_borders(self, grid):
+        partition = partition_graph(grid, 1)
+        assert partition.num_cells == 1
+        assert len(partition.border_nodes) == 0
+
+    def test_invalid_cell_count_raises(self, grid):
+        with pytest.raises(PrepError):
+            partition_graph(grid, 0)
+        with pytest.raises(PrepError):
+            partition_graph(grid, grid.num_nodes + 1)
+
+
+class TestAssembledScores:
+    """Partitioned scores are exact in-cell and upper bounds across cells."""
+
+    @pytest.mark.parametrize("target", [0, 24, 48])
+    def test_sigma_never_undercuts_flat(self, partitioned, flat, target):
+        assembled = partitioned.bs_sigma_col(target)
+        reference = flat.bs_sigma_col(target)
+        finite = np.isfinite(reference)
+        assert np.all(assembled[finite] >= reference[finite] - 1e-9)
+
+    @pytest.mark.parametrize("target", [0, 24, 48])
+    def test_tau_never_undercuts_flat(self, partitioned, flat, target):
+        assembled = partitioned.os_tau_col(target)
+        reference = flat.os_tau_col(target)
+        finite = np.isfinite(reference)
+        assert np.all(assembled[finite] >= reference[finite] - 1e-9)
+
+    def test_exact_on_grid(self, partitioned, flat):
+        """On a uniform grid every optimum can be assembled via borders."""
+        assembled = partitioned.bs_sigma_col(24)
+        reference = flat.bs_sigma_col(24)
+        np.testing.assert_allclose(assembled, reference)
+
+    def test_scalar_lookups_match_columns(self, partitioned):
+        column = partitioned.os_tau_col(10)
+        for node in (0, 5, 30):
+            assert partitioned.os_tau(node, 10) == pytest.approx(column[node])
+
+    def test_reachability_preserved(self):
+        """Unreachable pairs stay inf under partitioning."""
+        from repro.graph.generators import line_graph
+
+        graph = line_graph(6)
+        partitioned = PartitionedCostTables.from_graph(graph, num_cells=2, seed=0)
+        assert np.isinf(partitioned.os_tau(5, 0))
+        assert np.isfinite(partitioned.os_tau(0, 5))
+
+
+class TestMemory:
+    def test_partitioned_tables_are_smaller(self, partitioned, grid):
+        flat_bytes = PartitionedCostTables.flat_memory_bytes(grid.num_nodes)
+        assert partitioned.memory_bytes() < flat_bytes
+
+    def test_figure1_partitioning_works(self):
+        graph = figure_1_graph()
+        partitioned = PartitionedCostTables.from_graph(graph, num_cells=2, seed=0)
+        flat = CostTables.from_graph(graph, predecessors=False)
+        assembled = partitioned.os_tau_col(7)
+        reference = flat.os_tau_col(7)
+        finite = np.isfinite(reference)
+        assert np.all(assembled[finite] >= reference[finite] - 1e-9)

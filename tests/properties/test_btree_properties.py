@@ -1,0 +1,64 @@
+"""Property-based tests: the B+-tree behaves like a sorted dict."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index.btree import BPlusTree
+from repro.index.buffer import BufferPool
+from repro.index.pages import PageStore
+
+keys = st.binary(min_size=1, max_size=12)
+values = st.binary(min_size=0, max_size=20)
+
+SLOW = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def make_tree() -> BPlusTree:
+    return BPlusTree(BufferPool(PageStore(page_size=128), capacity=8))
+
+
+class TestAgainstDictModel:
+    @SLOW
+    @given(st.lists(st.tuples(keys, values), max_size=60))
+    def test_inserts_match_dict(self, items):
+        tree = make_tree()
+        model: dict[bytes, bytes] = {}
+        for key, value in items:
+            tree.insert(key, value)
+            model[key] = value
+        for key, value in model.items():
+            assert tree.get(key) == value
+        assert [k for k, _v in tree.items()] == sorted(model)
+
+    @SLOW
+    @given(
+        st.lists(st.tuples(keys, values), max_size=40),
+        st.lists(keys, max_size=15),
+    )
+    def test_mixed_inserts_and_deletes_match_dict(self, items, deletions):
+        tree = make_tree()
+        model: dict[bytes, bytes] = {}
+        for key, value in items:
+            tree.insert(key, value)
+            model[key] = value
+        for key in deletions:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        for key, value in model.items():
+            assert tree.get(key) == value
+        for key in deletions:
+            if key not in model:
+                assert tree.get(key) is None
+
+    @SLOW
+    @given(st.lists(st.tuples(keys, values), max_size=40), keys, keys)
+    def test_range_scan_matches_dict(self, items, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        tree = make_tree()
+        model: dict[bytes, bytes] = {}
+        for key, value in items:
+            tree.insert(key, value)
+            model[key] = value
+        expected = sorted(k for k in model if lo <= k < hi)
+        assert [k for k, _v in tree.range(lo, hi)] == expected

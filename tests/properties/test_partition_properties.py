@@ -1,0 +1,39 @@
+"""Property-based tests for partitioned pre-processing."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.prep.partition import PartitionedCostTables, partition_graph
+from repro.prep.tables import CostTables
+
+from tests.strategies import small_graphs
+
+SLOW = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestPartitionInvariants:
+    @SLOW
+    @given(small_graphs(min_nodes=4, max_nodes=7), st.integers(2, 3))
+    def test_cells_partition_the_node_set(self, graph, cells):
+        partition = partition_graph(graph, cells)
+        seen = sorted(v for cell in partition.cells for v in cell)
+        assert seen == list(range(graph.num_nodes))
+
+    @SLOW
+    @given(small_graphs(min_nodes=4, max_nodes=7), st.integers(2, 3))
+    def test_assembled_scores_are_sound_upper_bounds(self, graph, cells):
+        """Partitioned scores never undercut the flat optimum, and agree
+        exactly on reachability within assembled routes."""
+        partitioned = PartitionedCostTables.from_graph(graph, num_cells=cells, seed=0)
+        flat = CostTables.from_graph(graph, predecessors=False)
+        n = graph.num_nodes
+        for t in range(n):
+            for kind, column, reference in (
+                ("tau", partitioned.os_tau_col(t), flat.os_tau_col(t)),
+                ("sigma", partitioned.bs_sigma_col(t), flat.bs_sigma_col(t)),
+            ):
+                finite = np.isfinite(reference)
+                assert np.all(column[finite] >= reference[finite] - 1e-9), kind
+                # Anything the partitioned tables claim reachable must be.
+                assert np.all(np.isfinite(column) <= finite | np.isinf(column))

@@ -1,0 +1,63 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import SpatialKeywordGraph
+
+#: Small pool so random graphs get keyword overlap (queries can be covered).
+KEYWORD_POOL = ("pub", "mall", "cafe", "park", "imax")
+
+#: Weights are drawn from a small grid of "nice" positive values: realistic
+#: enough to exercise scaling/domination, tame enough to avoid float noise
+#: dominating shrunk counterexamples.
+WEIGHT_GRID = (0.5, 1.0, 1.5, 2.0, 3.0, 5.0)
+
+
+@st.composite
+def small_graphs(draw, min_nodes: int = 2, max_nodes: int = 7) -> SpatialKeywordGraph:
+    """A random small spatial-keyword digraph (always has >= 1 edge).
+
+    Every node gets 0-2 keywords from the shared pool; every ordered node
+    pair independently gets an edge with grid weights, plus a fallback
+    0 -> 1 edge so the graph is never edgeless.
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    builder = GraphBuilder()
+    for _ in range(n):
+        keywords = draw(
+            st.lists(st.sampled_from(KEYWORD_POOL), min_size=0, max_size=2, unique=True)
+        )
+        builder.add_node(keywords=keywords)
+
+    added = False
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            if draw(st.booleans()):
+                objective = draw(st.sampled_from(WEIGHT_GRID))
+                budget = draw(st.sampled_from(WEIGHT_GRID))
+                builder.add_edge(u, v, objective, budget)
+                added = True
+    if not added:
+        builder.add_edge(0, 1, 1.0, 1.0)
+    return builder.build()
+
+
+@st.composite
+def graph_and_query(draw):
+    """A random graph plus a query drawn from its own vocabulary."""
+    graph = draw(small_graphs())
+    source = draw(st.integers(0, graph.num_nodes - 1))
+    target = draw(st.integers(0, graph.num_nodes - 1))
+    present = sorted(set(graph.keyword_table.words))
+    keywords = draw(
+        st.lists(st.sampled_from(present), min_size=1, max_size=3, unique=True)
+        if present
+        else st.just([])
+    )
+    delta = draw(st.sampled_from((2.0, 4.0, 8.0, 16.0)))
+    return graph, source, target, tuple(keywords), delta
