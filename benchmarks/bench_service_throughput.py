@@ -1,0 +1,35 @@
+"""Serving layer — batched/cached throughput vs sequential engine loops.
+
+Expected shape: ``Service-warm`` (whole stream served from the
+canonicalizing LRU cache) is orders of magnitude under
+``Engine-sequential``; ``Service-cold`` already wins on repeat-heavy
+streams thanks to in-batch dedup and the shared candidate-set pass.
+This file doubles as the smoke test for the acceptance bar: cached
+repeat-query batches must be >= 5x faster than uncached sequential
+``KOREngine`` loops on both the Figure-1 and Flickr-like workloads.
+"""
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import service_throughput
+
+SERIES = ("Engine-sequential", "Service-cold", "Service-warm")
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+def test_cell(benchmark, workers):
+    """One serving sweep at a fixed worker count."""
+    result = benchmark.pedantic(
+        lambda: service_throughput(workers=workers), rounds=1, iterations=1
+    )
+    assert set(result.series) == set(SERIES)
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the serving-throughput figure; check the 5x bar."""
+    result = emit_figure(benchmark, service_throughput)
+    for dataset, speedup in result.meta["speedup_warm"].items():
+        assert speedup >= 5.0, (
+            f"warm service only {speedup:.1f}x over sequential on {dataset}"
+        )

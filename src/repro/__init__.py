@@ -52,11 +52,21 @@ from repro.graph import (
 )
 from repro.index import InvertedIndex, Vocabulary
 from repro.prep import CostTables
+from repro.service import (
+    BatchError,
+    BatchReport,
+    QueryService,
+    ResultCache,
+    ServiceStats,
+    canonical_cache_key,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "BatchError",
+    "BatchReport",
     "CostTables",
     "DatasetError",
     "GraphBuilder",
@@ -69,16 +79,20 @@ __all__ = [
     "KkRResult",
     "PrepError",
     "QueryError",
+    "QueryService",
     "ReproError",
+    "ResultCache",
     "Route",
     "SearchStats",
     "SearchTrace",
+    "ServiceStats",
     "SpatialKeywordGraph",
     "StorageError",
     "Vocabulary",
     "branch_and_bound",
     "bucket_bound",
     "bucket_bound_top_k",
+    "canonical_cache_key",
     "exhaustive_search",
     "figure_1_graph",
     "greedy",

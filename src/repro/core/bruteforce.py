@@ -34,6 +34,7 @@ def exhaustive_search(
     index: InvertedIndex,
     query: KORQuery,
     max_expansions: int = 2_000_000,
+    binding: QueryBinding | None = None,
 ) -> KORResult:
     """Enumerate every budget-feasible walk; return the true optimum.
 
@@ -42,7 +43,8 @@ def exhaustive_search(
     """
     start = time.perf_counter()
     stats = SearchStats()
-    binding = QueryBinding.bind(graph, index, query)
+    if binding is None:
+        binding = QueryBinding.bind(graph, index, query)
     delta = query.budget_limit
     full_mask = binding.full_mask
 
@@ -103,6 +105,7 @@ def branch_and_bound(
     query: KORQuery,
     use_strategy1: bool = True,
     use_strategy2: bool = True,
+    binding: QueryBinding | None = None,
 ) -> KORResult:
     """Exact KOR via the unscaled label search (Algorithm 1, theta -> 0).
 
@@ -118,4 +121,5 @@ def branch_and_bound(
         use_strategy1=use_strategy1,
         use_strategy2=use_strategy2,
         exact=True,
+        binding=binding,
     )

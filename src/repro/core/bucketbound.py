@@ -24,7 +24,7 @@ import math
 import time
 
 from repro.core.label import VIA_EDGE, VIA_JUMP, Label, LabelStore, label_sort_key
-from repro.core.query import KORQuery
+from repro.core.query import KORQuery, QueryBinding
 from repro.core.results import KORResult, SearchStats, SearchTrace
 from repro.core.scaling import ScalingContext
 from repro.core.searchbase import SearchContext
@@ -121,13 +121,20 @@ def bucket_bound(
     use_strategy2: bool = True,
     infrequent_threshold: float = 0.01,
     trace: SearchTrace | None = None,
+    binding: QueryBinding | None = None,
 ) -> KORResult:
     """Answer *query* with Algorithm 2 (approximation ratio ``beta/(1-eps)``)."""
     start = time.perf_counter()
     stats = SearchStats()
     scaling = ScalingContext.for_query(graph, query.budget_limit, epsilon)
     ctx = SearchContext(
-        graph, tables, index, query, scaling, infrequent_threshold=infrequent_threshold
+        graph,
+        tables,
+        index,
+        query,
+        scaling,
+        infrequent_threshold=infrequent_threshold,
+        binding=binding,
     )
 
     reason = ctx.impossibility_reason()

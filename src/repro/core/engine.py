@@ -19,7 +19,7 @@ from repro.core.bruteforce import branch_and_bound, exhaustive_search
 from repro.core.bucketbound import bucket_bound
 from repro.core.greedy import greedy
 from repro.core.osscaling import os_scaling
-from repro.core.query import KORQuery
+from repro.core.query import KORQuery, QueryBinding
 from repro.core.results import KkRResult, KORResult
 from repro.core.topk import bucket_bound_top_k, os_scaling_top_k
 from repro.exceptions import QueryError
@@ -78,6 +78,34 @@ class KOREngine:
         return self._index
 
     # ------------------------------------------------------------------
+    # reusable query context
+    # ------------------------------------------------------------------
+    def candidate_sets(self, keywords: Iterable[str]) -> dict[int, "object"]:
+        """Per-keyword candidate node sets for *keywords*, fetched once.
+
+        Resolves each distinct keyword through the graph's keyword table
+        and the inverted index (words absent from the vocabulary are
+        skipped — binding treats them as empty).  The returned map feeds
+        :meth:`bind`'s ``candidates`` argument, letting a batch of queries
+        that share keywords pay for each posting lookup exactly once.
+        """
+        ids = [
+            kid
+            for kid in (self._graph.keyword_table.get(word) for word in keywords)
+            if kid is not None
+        ]
+        return self._index.candidate_sets(ids)
+
+    def bind(self, query: KORQuery, candidates: dict | None = None) -> QueryBinding:
+        """Build the reusable per-query context (validates endpoints).
+
+        The returned :class:`QueryBinding` is read-only and can be handed
+        to :meth:`run` (``binding=``) any number of times, including from
+        concurrent threads.
+        """
+        return QueryBinding.bind(self._graph, self._index, query, candidates=candidates)
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def query(
@@ -99,8 +127,16 @@ class KOREngine:
         return self.run(query, algorithm=algorithm, **params)
 
     def run(self, query: KORQuery, algorithm: str = "bucketbound", **params) -> KORResult:
-        """Answer a pre-built :class:`KORQuery`."""
+        """Answer a pre-built :class:`KORQuery`.
+
+        ``params`` may carry ``binding=`` (a context from :meth:`bind`) or
+        ``candidates=`` (a map from :meth:`candidate_sets`); either skips
+        the per-query index lookups — the serving layer's batch path.
+        """
         graph, tables, index = self._graph, self._tables, self._index
+        candidates = params.pop("candidates", None)
+        if candidates is not None and params.get("binding") is None:
+            params["binding"] = self.bind(query, candidates=candidates)
         if algorithm == "osscaling":
             return os_scaling(graph, tables, index, query, **params)
         if algorithm == "bucketbound":

@@ -61,6 +61,7 @@ def greedy(
     width: int = 1,
     mode: str = "coverage",
     credit_path_keywords: bool = True,
+    binding: QueryBinding | None = None,
 ) -> KORResult:
     """Answer *query* heuristically with Algorithm 3.
 
@@ -89,7 +90,8 @@ def greedy(
     if mode not in ("coverage", "budget"):
         raise PrepError(f"mode must be 'coverage' or 'budget', got {mode!r}")
 
-    binding = QueryBinding.bind(graph, index, query)
+    if binding is None:
+        binding = QueryBinding.bind(graph, index, query)
     source, target, delta = query.source, query.target, query.budget_limit
     full_mask = binding.full_mask
     os_tau_t = tables.os_tau_col(target)

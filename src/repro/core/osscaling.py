@@ -28,7 +28,7 @@ import heapq
 import time
 
 from repro.core.label import VIA_EDGE, VIA_JUMP, Label, LabelStore, label_sort_key
-from repro.core.query import KORQuery
+from repro.core.query import KORQuery, QueryBinding
 from repro.core.results import KORResult, SearchStats, SearchTrace
 from repro.core.route import Route
 from repro.core.scaling import ScalingContext
@@ -51,13 +51,15 @@ def os_scaling(
     infrequent_threshold: float = 0.01,
     exact: bool = False,
     trace: SearchTrace | None = None,
+    binding: QueryBinding | None = None,
 ) -> KORResult:
     """Answer *query* with Algorithm 1.
 
     Parameters mirror the paper: ``epsilon`` trades accuracy for speed
     (Theorem 2 bound ``1/(1-eps)``); the two optimisation strategies can
     be toggled for ablations.  ``trace`` collects per-label events for the
-    worked-example tests.
+    worked-example tests.  ``binding`` optionally reuses a pre-built
+    query context (see :class:`repro.core.query.QueryBinding`).
     """
     start = time.perf_counter()
     algorithm = "exact" if exact else "osscaling"
@@ -65,7 +67,13 @@ def os_scaling(
 
     scaling = ScalingContext.for_query(graph, query.budget_limit, epsilon, exact=exact)
     ctx = SearchContext(
-        graph, tables, index, query, scaling, infrequent_threshold=infrequent_threshold
+        graph,
+        tables,
+        index,
+        query,
+        scaling,
+        infrequent_threshold=infrequent_threshold,
+        binding=binding,
     )
 
     reason = ctx.impossibility_reason()

@@ -11,7 +11,7 @@ making Definition 6's ``lambda superset`` test a single ``&`` operation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -89,9 +89,20 @@ class QueryBinding:
 
     @classmethod
     def bind(
-        cls, graph: SpatialKeywordGraph, index: InvertedIndex, query: KORQuery
+        cls,
+        graph: SpatialKeywordGraph,
+        index: InvertedIndex,
+        query: KORQuery,
+        candidates: Mapping[int, np.ndarray] | None = None,
     ) -> "QueryBinding":
-        """Resolve *query* against *graph* using the inverted *index*."""
+        """Resolve *query* against *graph* using the inverted *index*.
+
+        ``candidates`` optionally maps keyword ids to their posting lists
+        (the shared candidate sets an ``index.candidate_sets`` call over a
+        whole batch produces); ids present there are taken as-is and the
+        index is only consulted for the rest.  This is how the serving
+        layer amortises per-keyword index work across a query stream.
+        """
         n = graph.num_nodes
         if not (0 <= query.source < n):
             raise QueryError(f"source node {query.source} is outside 0..{n - 1}")
@@ -104,9 +115,12 @@ class QueryBinding:
         for bit, word in enumerate(query.keywords):
             kid = graph.keyword_table.get(word)
             keyword_ids.append(kid)
-            postings = (
-                index.postings(kid) if kid is not None else np.empty(0, dtype=np.int64)
-            )
+            if kid is None:
+                postings = np.empty(0, dtype=np.int64)
+            elif candidates is not None and kid in candidates:
+                postings = candidates[kid]
+            else:
+                postings = index.postings(kid)
             nodes_with_bit.append(postings)
             bit_value = 1 << bit
             for node in postings:

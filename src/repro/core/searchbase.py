@@ -34,13 +34,18 @@ class SearchContext:
         query: KORQuery,
         scaling: ScalingContext,
         infrequent_threshold: float = 0.01,
+        binding: QueryBinding | None = None,
     ) -> None:
         self.graph = graph
         self.tables = tables
         self.index = index
         self.query = query
         self.scaling = scaling
-        self.binding = QueryBinding.bind(graph, index, query)
+        # A pre-built binding (the serving layer's reusable query context)
+        # skips the per-query index lookups; it must describe this query.
+        self.binding = (
+            binding if binding is not None else QueryBinding.bind(graph, index, query)
+        )
         self.delta = query.budget_limit
 
         target = query.target

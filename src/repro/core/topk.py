@@ -26,7 +26,7 @@ import time
 
 from repro.core.label import VIA_EDGE, VIA_JUMP, Label, LabelStore, label_sort_key
 from repro.core.bucketbound import BucketQueue
-from repro.core.query import KORQuery
+from repro.core.query import KORQuery, QueryBinding
 from repro.core.results import KkRResult, SearchStats
 from repro.core.route import Route
 from repro.core.scaling import ScalingContext
@@ -96,12 +96,13 @@ def os_scaling_top_k(
     epsilon: float = 0.5,
     use_strategy1: bool = True,
     use_strategy2: bool = True,
+    binding: QueryBinding | None = None,
 ) -> KkRResult:
     """OSScaling extended to the KkR query with k-domination."""
     start = time.perf_counter()
     stats = SearchStats()
     scaling = ScalingContext.for_query(graph, query.budget_limit, epsilon)
-    ctx = SearchContext(graph, tables, index, query, scaling)
+    ctx = SearchContext(graph, tables, index, query, scaling, binding=binding)
     collector = TopKCollector(k)
 
     if ctx.impossibility_reason() is not None:
@@ -183,6 +184,7 @@ def bucket_bound_top_k(
     beta: float = 1.2,
     use_strategy1: bool = True,
     use_strategy2: bool = True,
+    binding: QueryBinding | None = None,
 ) -> KkRResult:
     """BucketBound extended to the KkR query.
 
@@ -192,7 +194,7 @@ def bucket_bound_top_k(
     start = time.perf_counter()
     stats = SearchStats()
     scaling = ScalingContext.for_query(graph, query.budget_limit, epsilon)
-    ctx = SearchContext(graph, tables, index, query, scaling)
+    ctx = SearchContext(graph, tables, index, query, scaling, binding=binding)
     collector = TopKCollector(k)
 
     if ctx.impossibility_reason() is not None:

@@ -176,6 +176,18 @@ class DiskInvertedIndex:
             result = np.intersect1d(result, self.postings(kid), assume_unique=True)
         return result
 
+    def candidate_sets(self, keyword_ids: Iterable[int]) -> dict[int, np.ndarray]:
+        """Posting list per keyword id, each chain decoded exactly once.
+
+        Mirror of :meth:`repro.index.inverted.InvertedIndex.candidate_sets`
+        — the shared candidate-set API the serving layer batches through.
+        On this back end the batching matters most: each distinct keyword
+        costs one B+-tree descent plus a page-chain decode, so resolving
+        a batch's keyword union up front keeps the per-query fan-out from
+        touching the (single-threaded) buffer pool at all.
+        """
+        return {kid: self.postings(kid) for kid in dict.fromkeys(keyword_ids)}
+
     def flush(self) -> None:
         """Persist all dirty pages."""
         self._pool.flush()

@@ -79,5 +79,17 @@ class InvertedIndex:
             result = np.intersect1d(result, self.postings(kid), assume_unique=True)
         return result
 
+    def candidate_sets(self, keyword_ids: Iterable[int]) -> dict[int, np.ndarray]:
+        """Posting list per keyword id, fetched once per distinct id.
+
+        The shared candidate-set API of both index back ends: a batch of
+        queries collects the union of its keyword ids, resolves them in a
+        single call, and every query binding then reuses the returned map
+        instead of hitting the index again (``QueryBinding.bind``'s
+        ``candidates`` argument).  Absent keywords map to empty arrays so
+        callers can distinguish "looked up, nowhere" from "not looked up".
+        """
+        return {kid: self.postings(kid) for kid in dict.fromkeys(keyword_ids)}
+
     def __len__(self) -> int:
         return len(self._postings)

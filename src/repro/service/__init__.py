@@ -1,0 +1,69 @@
+"""repro.service — batched, cached, concurrent KOR serving layer.
+
+The algorithms in :mod:`repro.core` answer one query at a time and
+recompute every per-keyword candidate set from scratch.  Real workloads
+(the Flickr query logs modelled in the paper, Section 4.1) are streams
+with heavy keyword and whole-query repetition, so a serving layer can
+amortise most of that work.  This package adds one:
+
+``QueryService``
+    The front door.  Wraps a :class:`repro.core.engine.KOREngine` with
+
+    * a **canonicalizing LRU result cache** — keyword order and
+      duplicates never change the cache key, so ``("pub", "mall")`` and
+      ``("mall", "pub", "pub")`` hit the same entry; capacity and
+      hit/miss counters are exposed (:mod:`repro.service.cache`);
+    * a **batch executor** — a list of :class:`repro.core.query.KORQuery`
+      objects is deduplicated against the cache and against itself, the
+      batch's *union* of keywords is resolved through the index exactly
+      once (``index.candidate_sets``), and the remaining unique queries
+      fan out over a ``ThreadPoolExecutor``.  Results come back in
+      submission order regardless of worker count, and one failing query
+      is reported per-slot without poisoning the cache or its neighbours
+      (:mod:`repro.service.batch`);
+    * **serving metrics** — p50/p95 latency, cache hit rate and
+      throughput via :class:`repro.service.stats.ServiceStats`, consumed
+      by ``repro.bench.harness.run_service_query_set`` and the
+      ``service_throughput`` benchmark.
+
+Quickstart::
+
+    from repro import KOREngine, KORQuery, figure_1_graph
+    from repro.service import QueryService
+
+    service = QueryService(KOREngine(figure_1_graph()), cache_capacity=512)
+    batch = [KORQuery(0, 7, ("t1", "t2"), 8.0) for _ in range(100)]
+    results = service.run_batch(batch, algorithm="bucketbound", workers=4)
+    print(service.stats.snapshot())          # p50/p95, hit rate, qps
+
+Guarantees (backed by ``tests/service/``):
+
+* **Differential** — batch results are semantically identical to a
+  sequential ``engine.run`` loop for every algorithm in ``ALGORITHMS``,
+  cached or not.
+* **Deterministic** — the same batch yields the same result list with 1
+  or N workers.
+* **Isolated failures** — a query that raises ``QueryError`` marks only
+  its own slot; nothing about it is cached.
+
+Known limits (see ROADMAP "Open items"): single-process threads only (no
+sharding across graphs), synchronous API (no async backend), and the
+cache stores full ``KORResult`` objects (no size-aware eviction).
+"""
+
+from repro.service.batch import BatchError, BatchItem, BatchReport
+from repro.service.cache import CacheStats, ResultCache, canonical_cache_key
+from repro.service.service import QueryService
+from repro.service.stats import ServiceStats, StatsSnapshot
+
+__all__ = [
+    "BatchError",
+    "BatchItem",
+    "BatchReport",
+    "CacheStats",
+    "QueryService",
+    "ResultCache",
+    "ServiceStats",
+    "StatsSnapshot",
+    "canonical_cache_key",
+]

@@ -1,0 +1,199 @@
+"""Batch execution: dedup, shared candidate sets, concurrent fan-out.
+
+``execute_batch`` is the engine room of ``QueryService.run_batch``:
+
+1. every slot is probed against the result cache (canonical keys, so a
+   reordered keyword list still hits);
+2. the remaining misses are deduplicated *within* the batch — two slots
+   with the same canonical key share one computation;
+3. the union of the miss queries' keywords is resolved through the
+   engine's index in a single ``candidate_sets`` call, so a keyword
+   shared by hundreds of queries costs one posting lookup;
+4. unique computations fan out over a ``ThreadPoolExecutor`` (every
+   per-query structure — binding, labels, scaling — is private to its
+   task; the graph, tables and candidate map are only read);
+5. results land back in their slots, so the report's order is the
+   submission order no matter how many workers raced.
+
+A slot whose computation raises is reported through its
+:class:`BatchItem.error`; nothing about it enters the cache and no other
+slot is disturbed.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.core.engine import KOREngine
+from repro.core.query import KORQuery
+from repro.core.results import KORResult
+from repro.exceptions import QueryError
+from repro.service.cache import UNCACHEABLE_PARAMS, ResultCache, canonical_cache_key
+
+__all__ = ["BatchError", "BatchItem", "BatchReport", "execute_batch"]
+
+#: Fan-out width when the caller does not pick one.
+DEFAULT_WORKERS = 4
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one slot of a batch, in submission order."""
+
+    index: int
+    query: KORQuery
+    result: KORResult | None = None
+    error: Exception | None = None
+    cached: bool = False
+    latency_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the slot produced a result."""
+        return self.error is None and self.result is not None
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch produced, slot by slot."""
+
+    items: list[BatchItem]
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether every slot succeeded."""
+        return all(item.ok for item in self.items)
+
+    @property
+    def errors(self) -> dict[int, Exception]:
+        """Slot index -> exception, for the slots that failed."""
+        return {item.index: item.error for item in self.items if item.error is not None}
+
+    def results(self) -> list[KORResult]:
+        """The per-slot results in submission order.
+
+        Raises :class:`BatchError` when any slot failed — use
+        :attr:`items` to consume partial outcomes.
+        """
+        if not self.ok:
+            raise BatchError(self)
+        return [item.result for item in self.items]
+
+
+class BatchError(QueryError):
+    """Raised when :meth:`BatchReport.results` meets failed slots.
+
+    Carries the full :attr:`report` so callers can still consume the
+    slots that did succeed.
+    """
+
+    def __init__(self, report: BatchReport) -> None:
+        errors = report.errors
+        preview = "; ".join(
+            f"[{index}] {error}" for index, error in sorted(errors.items())[:3]
+        )
+        super().__init__(
+            f"{len(errors)} of {len(report.items)} batch queries failed: {preview}"
+        )
+        self.report = report
+
+
+@dataclass
+class _Unit:
+    """One unique computation, shared by every slot with its key."""
+
+    query: KORQuery
+    slots: list[int]
+    key: Hashable | None = None
+    result: KORResult | None = None
+    error: Exception | None = None
+    latency_seconds: float = 0.0
+
+
+def execute_batch(
+    engine: KOREngine,
+    cache: ResultCache,
+    queries: Sequence[KORQuery],
+    algorithm: str = "bucketbound",
+    workers: int | None = None,
+    params: dict | None = None,
+) -> BatchReport:
+    """Run *queries* through *engine* with caching and shared candidates."""
+    params = dict(params or {})
+    if "binding" in params or "candidates" in params:
+        # A binding describes exactly one query and the executor builds its
+        # own shared candidate map, so a batch-wide value is always wrong.
+        raise QueryError(
+            "'binding'/'candidates' cannot be passed to a batch: they are "
+            "per-query; use engine.run() directly to supply them"
+        )
+    begin = time.perf_counter()
+    queries = list(queries)
+    items = [BatchItem(index=i, query=query) for i, query in enumerate(queries)]
+
+    cacheable = not (UNCACHEABLE_PARAMS & params.keys())
+    keys: list[Hashable | None] = [None] * len(queries)
+    if cacheable:
+        try:
+            keys = [canonical_cache_key(q, algorithm, params) for q in queries]
+        except QueryError:
+            # Unhashable parameter values: serve the batch, skip the cache.
+            cacheable = False
+            keys = [None] * len(queries)
+
+    # Probe the cache; collect misses into per-key units (in-batch dedup).
+    units: list[_Unit] = []
+    by_key: dict[Hashable, _Unit] = {}
+    for item in items:
+        key = keys[item.index]
+        hit = cache.get(key) if cacheable else None
+        if hit is not None:
+            item.result = hit
+            item.cached = True
+            continue
+        if cacheable and key in by_key:
+            by_key[key].slots.append(item.index)
+            continue
+        unit = _Unit(query=item.query, slots=[item.index], key=key)
+        units.append(unit)
+        if cacheable:
+            by_key[key] = unit
+
+    if units:
+        # One index pass for the whole batch: the union of every miss
+        # query's keywords, resolved to candidate node sets exactly once.
+        words = {word for unit in units for word in unit.query.keywords}
+        candidates = engine.candidate_sets(words) if words else {}
+
+        def compute(unit: _Unit) -> None:
+            unit_begin = time.perf_counter()
+            try:
+                binding = engine.bind(unit.query, candidates=candidates)
+                unit.result = engine.run(
+                    unit.query, algorithm=algorithm, binding=binding, **params
+                )
+            except Exception as error:  # noqa: BLE001 - reported per slot
+                unit.error = error
+            unit.latency_seconds = time.perf_counter() - unit_begin
+
+        effective = workers if workers is not None else DEFAULT_WORKERS
+        if effective <= 1 or len(units) == 1:
+            for unit in units:
+                compute(unit)
+        else:
+            with ThreadPoolExecutor(max_workers=effective) as pool:
+                list(pool.map(compute, units))
+
+        for unit in units:
+            if unit.error is None and cacheable:
+                cache.put(unit.key, unit.result)
+            for slot in unit.slots:
+                items[slot].result = unit.result
+                items[slot].error = unit.error
+                items[slot].latency_seconds = unit.latency_seconds
+
+    return BatchReport(items=items, wall_seconds=time.perf_counter() - begin)

@@ -1,0 +1,155 @@
+"""Canonicalizing LRU result cache for the serving layer.
+
+The cache key normalises everything about a query that cannot change its
+answer: keyword **order** and **duplicates** (a KOR query's keyword set
+is a set, Definition 4 — bit positions shift but the optimal route does
+not), while keeping everything that can: endpoints, budget, algorithm
+and algorithm parameters.  Two queries with the same canonical key are
+answered by the same :class:`repro.core.results.KORResult` object; the
+cached result's ``query`` attribute is the query that first computed it.
+
+The store is a plain ``OrderedDict`` LRU guarded by a lock so batch
+workers can probe it concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.core.query import KORQuery
+from repro.core.results import KORResult
+from repro.exceptions import QueryError
+
+__all__ = ["CacheStats", "ResultCache", "canonical_cache_key", "UNCACHEABLE_PARAMS"]
+
+#: Parameters whose presence makes a single-query call uncacheable:
+#: ``trace`` mutates a caller-owned sink (replaying a cached result would
+#: silently skip it) and ``binding``/``candidates`` are caller-supplied
+#: state the key cannot describe.  The batch executor rejects the latter
+#: two outright — they are per-query by nature.
+UNCACHEABLE_PARAMS = frozenset({"trace", "binding", "candidates"})
+
+
+def canonical_cache_key(
+    query: KORQuery,
+    algorithm: str = "bucketbound",
+    params: Mapping[str, object] | None = None,
+) -> Hashable:
+    """The cache key of (*query*, *algorithm*, *params*).
+
+    Keywords are deduplicated and sorted, so any ordering of the same
+    keyword multiset maps to one key.  Endpoints, budget, algorithm name
+    and every parameter value are kept verbatim — distinct budgets,
+    sources, targets or epsilons can never collide (the key is a tuple of
+    the actual values, not a hash digest).
+    """
+    if params:
+        unhashable = [name for name in params if not _hashable(params[name])]
+        if unhashable:
+            raise QueryError(
+                f"parameters {sorted(unhashable)} are not hashable and cannot "
+                "form a cache key; pass them via an uncached engine.run()"
+            )
+    return (
+        int(query.source),
+        int(query.target),
+        tuple(sorted(set(query.keywords))),
+        float(query.budget_limit),
+        str(algorithm),
+        tuple(sorted(params.items())) if params else (),
+    )
+
+
+def _hashable(value: object) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`ResultCache` (monotonically increasing)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per probe, 0.0 when never probed."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Thread-safe LRU mapping canonical keys to :class:`KORResult`.
+
+    ``capacity`` bounds the entry count; inserting beyond it evicts the
+    least recently *used* entry (lookups refresh recency).  A capacity of
+    0 disables storage entirely while keeping the stats flowing.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise QueryError(f"cache capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[Hashable, KORResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of stored results."""
+        return self._capacity
+
+    @property
+    def stats(self) -> CacheStats:
+        """Live hit/miss/eviction counters."""
+        return self._stats
+
+    def get(self, key: Hashable) -> KORResult | None:
+        """The cached result under *key*, refreshing its recency."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return result
+
+    def put(self, key: Hashable, result: KORResult) -> None:
+        """Store *result* under *key*, evicting the LRU entry if full."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            self._stats.insertions += 1
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,187 @@
+"""``QueryService`` — the serving layer's front door.
+
+Single queries go through :meth:`QueryService.submit` (cache probe,
+compute on miss, record metrics); query lists go through
+:meth:`QueryService.run_batch` / :meth:`QueryService.execute`, which add
+in-batch dedup, one shared candidate-set pass over the index, and a
+thread-pool fan-out (see :mod:`repro.service.batch`).
+
+The service never mutates its engine: the graph, cost tables and index
+are read-only at serve time, which is what makes the concurrent paths
+safe.  Results handed out for cache hits are the *same objects* the
+first computation produced — treat ``KORResult`` as immutable (its
+``query`` attribute names the query that first computed the entry).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.core.engine import ALGORITHMS, KOREngine
+from repro.core.query import KORQuery
+from repro.core.results import KORResult
+from repro.exceptions import QueryError
+from repro.service.batch import DEFAULT_WORKERS, BatchReport, execute_batch
+from repro.service.cache import UNCACHEABLE_PARAMS, ResultCache, canonical_cache_key
+from repro.service.stats import ServiceStats, StatsSnapshot
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """Batched, cached, concurrent serving over one :class:`KOREngine`.
+
+    Parameters
+    ----------
+    engine:
+        The pre-processed engine to serve from.
+    cache_capacity:
+        LRU result-cache size in entries; 0 disables caching.
+    default_workers:
+        Fan-out width :meth:`run_batch` uses when the call does not pick
+        one.
+    """
+
+    def __init__(
+        self,
+        engine: KOREngine,
+        cache_capacity: int = 1024,
+        default_workers: int = DEFAULT_WORKERS,
+    ) -> None:
+        if default_workers < 1:
+            raise QueryError(f"default_workers must be >= 1, got {default_workers}")
+        self._engine = engine
+        self._cache = ResultCache(cache_capacity)
+        self._stats = ServiceStats()
+        self._default_workers = default_workers
+
+    @classmethod
+    def from_graph(cls, graph, **kwargs) -> "QueryService":
+        """Convenience: pre-process *graph* and serve it."""
+        return cls(KOREngine(graph), **kwargs)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> KOREngine:
+        """The wrapped engine."""
+        return self._engine
+
+    @property
+    def cache(self) -> ResultCache:
+        """The canonicalizing LRU result cache."""
+        return self._cache
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Serving metrics (latency percentiles, hit rate, throughput)."""
+        return self._stats
+
+    def snapshot(self) -> StatsSnapshot:
+        """Shorthand for ``service.stats.snapshot()``."""
+        return self._stats.snapshot()
+
+    # ------------------------------------------------------------------
+    # single queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source: int,
+        target: int,
+        keywords: Iterable[str],
+        budget_limit: float,
+        algorithm: str = "bucketbound",
+        **params,
+    ) -> KORResult:
+        """Answer one KOR query through the cache (mirrors ``engine.query``)."""
+        return self.submit(
+            KORQuery(source, target, tuple(keywords), budget_limit),
+            algorithm=algorithm,
+            **params,
+        )
+
+    def submit(
+        self, query: KORQuery, algorithm: str = "bucketbound", **params
+    ) -> KORResult:
+        """Answer a pre-built query, serving repeats from the cache.
+
+        Calls carrying uncacheable parameters (``trace`` and friends, see
+        :data:`repro.service.cache.UNCACHEABLE_PARAMS`) bypass the cache
+        in both directions but still feed the metrics.
+        """
+        begin = time.perf_counter()
+        cacheable = not (UNCACHEABLE_PARAMS & params.keys())
+        key = canonical_cache_key(query, algorithm, params) if cacheable else None
+        if cacheable:
+            hit = self._cache.get(key)
+            if hit is not None:
+                elapsed = time.perf_counter() - begin
+                self._stats.record_query(elapsed, cached=True)
+                self._stats.record_busy(elapsed)
+                return hit
+        try:
+            result = self._engine.run(query, algorithm=algorithm, **params)
+        except Exception:
+            self._stats.record_error()
+            self._stats.record_busy(time.perf_counter() - begin)
+            raise
+        if cacheable:
+            self._cache.put(key, result)
+        elapsed = time.perf_counter() - begin
+        self._stats.record_query(elapsed, cached=False)
+        self._stats.record_busy(elapsed)
+        return result
+
+    # ------------------------------------------------------------------
+    # batches
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        queries: Sequence[KORQuery],
+        algorithm: str = "bucketbound",
+        workers: int | None = None,
+        **params,
+    ) -> BatchReport:
+        """Run a batch, returning the full per-slot :class:`BatchReport`.
+
+        Failed slots carry their exception; successful slots are cached
+        and unaffected.  Slot order is the submission order regardless of
+        ``workers``.
+        """
+        if algorithm not in ALGORITHMS:
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; expected one of {', '.join(ALGORITHMS)}"
+            )
+        report = execute_batch(
+            self._engine,
+            self._cache,
+            queries,
+            algorithm=algorithm,
+            workers=workers if workers is not None else self._default_workers,
+            params=params,
+        )
+        for item in report.items:
+            if item.ok:
+                self._stats.record_query(item.latency_seconds, cached=item.cached)
+            else:
+                self._stats.record_error()
+        self._stats.record_busy(report.wall_seconds)
+        return report
+
+    def run_batch(
+        self,
+        queries: Sequence[KORQuery],
+        algorithm: str = "bucketbound",
+        workers: int | None = None,
+        **params,
+    ) -> list[KORResult]:
+        """Run a batch and return its results in submission order.
+
+        Raises :class:`repro.service.batch.BatchError` (carrying the full
+        report) when any slot failed.
+        """
+        return self.execute(
+            queries, algorithm=algorithm, workers=workers, **params
+        ).results()

@@ -1,0 +1,147 @@
+"""Serving-mode metrics: latency percentiles, hit rate, throughput.
+
+One :class:`ServiceStats` instance lives inside each ``QueryService``;
+every answered query records a latency sample (cache hits included —
+their near-zero latencies are what a cache is *for*) plus whether it hit.
+``snapshot()`` freezes the aggregates the benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["ServiceStats", "StatsSnapshot", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The *q*-th percentile (0..100) by linear interpolation, 0.0 if empty.
+
+    Matches ``numpy.percentile``'s default method but avoids forcing the
+    hot recording path through array conversions.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be within [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable aggregate view of one :class:`ServiceStats`."""
+
+    queries: int
+    errors: int
+    cache_hits: int
+    cache_misses: int
+    p50_latency_seconds: float
+    p95_latency_seconds: float
+    mean_latency_seconds: float
+    busy_seconds: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per answered query (0.0 when idle)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Queries per second of busy time (inf for all-hit workloads
+        measured below clock resolution, 0.0 when idle)."""
+        if not self.queries:
+            return 0.0
+        if self.busy_seconds <= 0.0:
+            return float("inf")
+        return self.queries / self.busy_seconds
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.queries} queries ({self.errors} errors), "
+            f"hit rate {100.0 * self.hit_rate:.1f}%, "
+            f"p50 {1000.0 * self.p50_latency_seconds:.3f} ms, "
+            f"p95 {1000.0 * self.p95_latency_seconds:.3f} ms, "
+            f"{self.throughput_qps:.0f} qps"
+        )
+
+
+class ServiceStats:
+    """Thread-safe accumulator behind :meth:`snapshot`.
+
+    ``busy_seconds`` sums *wall* time of the service's serve calls (a
+    batch counts once, however many workers it fanned out over), so the
+    throughput it yields is what a caller actually observed.
+
+    Latency samples live in a bounded sliding window (``window`` most
+    recent queries) so a long-lived service does not grow without bound;
+    the percentiles are therefore *recent* percentiles, while the
+    query/hit/error counters cover the whole lifetime.
+    """
+
+    def __init__(self, window: int = 8192) -> None:
+        if window < 1:
+            raise ValueError(f"latency window must be >= 1, got {window}")
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._queries = 0
+        self._errors = 0
+        self._hits = 0
+        self._misses = 0
+        self._busy_seconds = 0.0
+
+    def record_query(self, latency_seconds: float, cached: bool) -> None:
+        """One answered query (hit or computed)."""
+        with self._lock:
+            self._latencies.append(latency_seconds)
+            self._queries += 1
+            if cached:
+                self._hits += 1
+            else:
+                self._misses += 1
+
+    def record_error(self) -> None:
+        """One query that raised instead of answering."""
+        with self._lock:
+            self._errors += 1
+
+    def record_busy(self, seconds: float) -> None:
+        """Wall time of one serve call (single query or whole batch)."""
+        with self._lock:
+            self._busy_seconds += seconds
+
+    def snapshot(self) -> StatsSnapshot:
+        """Freeze the current aggregates (percentiles over the window)."""
+        with self._lock:
+            latencies = list(self._latencies)
+            return StatsSnapshot(
+                queries=self._queries,
+                errors=self._errors,
+                cache_hits=self._hits,
+                cache_misses=self._misses,
+                p50_latency_seconds=percentile(latencies, 50.0),
+                p95_latency_seconds=percentile(latencies, 95.0),
+                mean_latency_seconds=(
+                    sum(latencies) / len(latencies) if latencies else 0.0
+                ),
+                busy_seconds=self._busy_seconds,
+            )
+
+    def reset(self) -> None:
+        """Zero every counter and drop all samples."""
+        with self._lock:
+            self._latencies.clear()
+            self._queries = 0
+            self._errors = 0
+            self._hits = 0
+            self._misses = 0
+            self._busy_seconds = 0.0

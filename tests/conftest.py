@@ -14,6 +14,7 @@ from repro.datasets.flickr import FlickrConfig, FlickrDataset, build_flickr_grap
 from repro.datasets.photos import PhotoStreamConfig
 from repro.graph.digraph import SpatialKeywordGraph
 from repro.graph.generators import figure_1_graph
+from repro.service import QueryService
 
 
 @pytest.fixture(scope="session")
@@ -26,6 +27,13 @@ def fig1_graph() -> SpatialKeywordGraph:
 def fig1_engine(fig1_graph) -> KOREngine:
     """Figure-1 graph with pre-processed tables and index."""
     return KOREngine(fig1_graph)
+
+
+@pytest.fixture(scope="session")
+def fig1_service(fig1_engine) -> QueryService:
+    """Serving layer over the Figure-1 engine (shared cache and stats —
+    tests must not assume a cold cache; build a local service for that)."""
+    return QueryService(fig1_engine, cache_capacity=256)
 
 
 @pytest.fixture(scope="session")
@@ -47,3 +55,9 @@ def small_flickr() -> FlickrDataset:
 def small_flickr_engine(small_flickr) -> KOREngine:
     """Engine over the tiny Flickr-like dataset."""
     return KOREngine(small_flickr.graph)
+
+
+@pytest.fixture(scope="session")
+def small_flickr_service(small_flickr_engine) -> QueryService:
+    """Serving layer over the tiny Flickr-like engine."""
+    return QueryService(small_flickr_engine, cache_capacity=512)

@@ -1,9 +1,16 @@
-"""End-to-end integration: datasets -> engine -> every algorithm."""
+"""End-to-end integration: datasets -> engine/service -> every algorithm.
+
+The pipeline tests run through *both* front doors — the bare
+``KOREngine`` and the batched/cached ``QueryService`` — via the
+``run_kor`` fixture, so the serving layer is exercised on the same
+realistic workloads as the engine it wraps.
+"""
 
 import pytest
 
 from repro.core.query import KORQuery
 from repro.datasets.queries import QuerySetConfig, generate_query_set
+from repro.service import QueryService
 
 
 @pytest.fixture(scope="module")
@@ -17,33 +24,41 @@ def query_battery(small_flickr_engine):
     )
 
 
+@pytest.fixture(params=["engine", "service"])
+def run_kor(request, small_flickr_engine, small_flickr_service):
+    """One KOR call, through the engine or through the serving layer."""
+    if request.param == "engine":
+        return small_flickr_engine.run
+    return small_flickr_service.submit
+
+
 class TestFlickrPipeline:
-    def test_all_algorithms_run_on_generated_queries(self, small_flickr_engine, query_battery):
+    def test_all_algorithms_run_on_generated_queries(self, small_flickr_engine, run_kor, query_battery):
         for query in query_battery:
             for algorithm in ("osscaling", "bucketbound", "greedy", "greedy2"):
-                result = small_flickr_engine.run(query, algorithm=algorithm)
+                result = run_kor(query, algorithm=algorithm)
                 if result.feasible:
                     assert result.route.covers(small_flickr_engine.graph, query.keywords)
                     assert result.route.budget_score <= query.budget_limit + 1e-9
                     assert result.route.source == query.source
                     assert result.route.target == query.target
 
-    def test_approximations_agree_on_feasibility(self, small_flickr_engine, query_battery):
+    def test_approximations_agree_on_feasibility(self, run_kor, query_battery):
         for query in query_battery:
-            oss = small_flickr_engine.run(query, algorithm="osscaling")
-            bb = small_flickr_engine.run(query, algorithm="bucketbound")
+            oss = run_kor(query, algorithm="osscaling")
+            bb = run_kor(query, algorithm="bucketbound")
             assert oss.feasible == bb.feasible
 
-    def test_bucketbound_within_beta_of_osscaling(self, small_flickr_engine, query_battery):
+    def test_bucketbound_within_beta_of_osscaling(self, run_kor, query_battery):
         for query in query_battery:
-            oss = small_flickr_engine.run(query, algorithm="osscaling", epsilon=0.5)
-            bb = small_flickr_engine.run(query, algorithm="bucketbound", epsilon=0.5, beta=1.2)
+            oss = run_kor(query, algorithm="osscaling", epsilon=0.5)
+            bb = run_kor(query, algorithm="bucketbound", epsilon=0.5, beta=1.2)
             if oss.feasible:
                 assert bb.route.objective_score <= oss.route.objective_score * 1.2 + 1e-6
 
-    def test_topk_first_route_matches_top1(self, small_flickr_engine, query_battery):
+    def test_topk_first_route_matches_top1(self, small_flickr_engine, run_kor, query_battery):
         for query in query_battery[:3]:
-            top1 = small_flickr_engine.run(query, algorithm="osscaling")
+            top1 = run_kor(query, algorithm="osscaling")
             topk = small_flickr_engine.top_k(
                 query.source, query.target, query.keywords, query.budget_limit,
                 k=3, algorithm="osscaling",
@@ -51,6 +66,36 @@ class TestFlickrPipeline:
             assert top1.feasible == bool(topk.routes)
             if top1.feasible:
                 assert topk.routes[0].objective_score <= top1.route.objective_score + 1e-9
+
+
+class TestServicePipeline:
+    def test_batched_serving_matches_engine_on_battery(
+        self, small_flickr_engine, small_flickr_service, query_battery
+    ):
+        for algorithm in ("osscaling", "bucketbound"):
+            batch = small_flickr_service.run_batch(
+                query_battery, algorithm=algorithm, workers=4
+            )
+            for query, served in zip(query_battery, batch):
+                direct = small_flickr_engine.run(query, algorithm=algorithm)
+                assert served.feasible == direct.feasible
+                if direct.feasible:
+                    assert served.route.objective_score == pytest.approx(
+                        direct.route.objective_score
+                    )
+                    assert served.route.budget_score == pytest.approx(
+                        direct.route.budget_score
+                    )
+
+    def test_serving_metrics_flow_end_to_end(self, small_flickr_engine, query_battery):
+        service = QueryService(small_flickr_engine, cache_capacity=128)
+        service.run_batch(query_battery, algorithm="bucketbound", workers=2)
+        service.run_batch(query_battery, algorithm="bucketbound", workers=2)
+        snapshot = service.snapshot()
+        assert snapshot.queries == 2 * len(query_battery)
+        assert snapshot.cache_hits >= len(query_battery)  # whole second pass
+        assert snapshot.p95_latency_seconds >= snapshot.p50_latency_seconds
+        assert snapshot.throughput_qps > 0
 
 
 class TestRoadPipeline:
@@ -69,6 +114,23 @@ class TestRoadPipeline:
             if result.feasible:
                 assert result.route.covers(graph, query.keywords)
         assert feasible >= 1  # the screen makes most queries solvable
+
+    def test_road_graph_served_end_to_end(self):
+        from repro.core.engine import KOREngine
+        from repro.datasets.road import RoadConfig, build_road_graph
+
+        graph = build_road_graph(RoadConfig(num_nodes=150, seed=9))
+        service = QueryService(KOREngine(graph), cache_capacity=64)
+        config = QuerySetConfig(num_queries=4, num_keywords=2, budget_limit=8.0, seed=5)
+        queries = generate_query_set(
+            graph, service.engine.index, config, tables=service.engine.tables
+        )
+        batch = service.run_batch(queries, algorithm="bucketbound", workers=3)
+        feasible = sum(result.feasible for result in batch)
+        for query, result in zip(queries, batch):
+            if result.feasible:
+                assert result.route.covers(graph, query.keywords)
+        assert feasible >= 1
 
 
 class TestPrebuiltComponentsMatchFreshOnes:

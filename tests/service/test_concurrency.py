@@ -1,0 +1,123 @@
+"""Concurrency regressions: worker-count invariance and failure isolation.
+
+The batch executor's contract is that parallelism is *invisible*: the
+same batch with 1 or N workers yields identical result lists, and one
+poisoned query marks only its own slot — the cache and every other slot
+are untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import KOREngine
+from repro.core.query import KORQuery
+from repro.datasets.queries import QuerySetConfig, generate_query_set
+from repro.exceptions import QueryError
+from repro.service import BatchError, QueryService
+
+from tests.service.test_differential import fingerprint, random_instance
+
+
+def result_bytes(results) -> bytes:
+    """A byte string capturing everything observable about a result list."""
+    return repr([fingerprint(r) for r in results]).encode()
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    @pytest.mark.parametrize("algorithm", ("osscaling", "bucketbound", "greedy2"))
+    def test_one_vs_many_workers_byte_identical(self, seed, algorithm):
+        engine, queries = random_instance(seed)
+        solo = QueryService(engine, cache_capacity=256)
+        fleet = QueryService(engine, cache_capacity=256)
+        serial = solo.run_batch(queries, algorithm=algorithm, workers=1)
+        parallel = fleet.run_batch(queries, algorithm=algorithm, workers=8)
+        assert result_bytes(serial) == result_bytes(parallel)
+
+    def test_worker_counts_on_flickr_battery(self, small_flickr_engine):
+        config = QuerySetConfig(num_queries=5, num_keywords=2, budget_limit=4.0, seed=3)
+        queries = generate_query_set(
+            small_flickr_engine.graph,
+            small_flickr_engine.index,
+            config,
+            tables=small_flickr_engine.tables,
+        )
+        batches = [
+            QueryService(small_flickr_engine).run_batch(
+                queries, algorithm="bucketbound", workers=workers
+            )
+            for workers in (1, 2, 6)
+        ]
+        assert result_bytes(batches[0]) == result_bytes(batches[1]) == result_bytes(batches[2])
+
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_duplicate_slots_share_one_computation(self, workers):
+        engine, queries = random_instance(4)
+        service = QueryService(engine, cache_capacity=256)
+        batch = [queries[0], queries[1], queries[0], queries[0]]
+        report = service.execute(batch, algorithm="bucketbound", workers=workers)
+        assert report.ok
+        results = [item.result for item in report.items]
+        assert results[0] is results[2] is results[3]  # one shared computation
+        assert fingerprint(results[1]) == fingerprint(
+            engine.run(queries[1], algorithm="bucketbound")
+        )
+
+
+class TestFailureIsolation:
+    def failing_batch(self, engine, queries):
+        bad = KORQuery(engine.graph.num_nodes + 7, 0, (), 4.0)  # source out of range
+        return [queries[0], bad, queries[1]], 1
+
+    def test_failure_reported_without_poisoning_others(self):
+        engine, queries = random_instance(2)
+        service = QueryService(engine, cache_capacity=256)
+        batch, bad_slot = self.failing_batch(engine, queries)
+
+        report = service.execute(batch, algorithm="bucketbound", workers=4)
+        assert not report.ok
+        assert set(report.errors) == {bad_slot}
+        assert isinstance(report.errors[bad_slot], QueryError)
+        for item in report.items:
+            if item.index != bad_slot:
+                assert item.ok
+                assert fingerprint(item.result) == fingerprint(
+                    engine.run(item.query, algorithm="bucketbound")
+                )
+
+    def test_failure_never_enters_the_cache(self):
+        engine, queries = random_instance(2)
+        service = QueryService(engine, cache_capacity=256)
+        batch, bad_slot = self.failing_batch(engine, queries)
+
+        service.execute(batch, algorithm="bucketbound", workers=4)
+        assert len(service.cache) == len(batch) - 1  # only the good slots
+
+        # A retry recomputes the bad slot (it was never cached) and serves
+        # the good ones from cache.
+        before = service.cache.stats.insertions
+        report = service.execute(batch, algorithm="bucketbound", workers=4)
+        assert set(report.errors) == {bad_slot}
+        assert service.cache.stats.insertions == before  # pure hits, no growth
+        assert report.items[0].cached and report.items[2].cached
+
+    def test_run_batch_raises_batch_error_with_full_report(self):
+        engine, queries = random_instance(2)
+        service = QueryService(engine, cache_capacity=256)
+        batch, bad_slot = self.failing_batch(engine, queries)
+
+        with pytest.raises(BatchError) as excinfo:
+            service.run_batch(batch, algorithm="bucketbound")
+        report = excinfo.value.report
+        assert set(report.errors) == {bad_slot}
+        assert sum(item.ok for item in report.items) == len(batch) - 1
+
+    def test_errors_count_in_service_stats(self):
+        engine, queries = random_instance(2)
+        service = QueryService(engine, cache_capacity=256)
+        batch, _bad_slot = self.failing_batch(engine, queries)
+        service.execute(batch, algorithm="bucketbound", workers=2)
+        snapshot = service.snapshot()
+        assert snapshot.errors == 1
+        assert snapshot.queries == len(batch) - 1
