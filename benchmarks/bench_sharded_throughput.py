@@ -1,0 +1,57 @@
+"""Sharded serving — per-backend batch throughput.
+
+Expected shape: on a multi-core machine, ``ProcessBackend`` beats
+``SerialBackend`` on the Flickr-like multi-shard batch workload (the
+queries are CPU-bound pure-python search, so the thread pool is
+GIL-bound and roughly matches serial, while the process pool actually
+uses the cores).  On the microsecond-scale Figure-1 queries the IPC
+overhead dominates — that column documents the break-even, it is not a
+regression.
+
+This file doubles as the smoke test for the acceptance bar: where more
+than one CPU is usable, the process backend must beat serial on the
+Flickr workload.  On single-CPU runners the bar is unenforceable (no
+backend can out-run serial on one core) and the assertion is skipped —
+the figure is still emitted.
+"""
+
+import os
+
+import pytest
+
+from _helpers import emit_figure
+from repro.bench.experiments import sharded_throughput
+
+SERIES = ("SerialBackend", "ThreadBackend", "ProcessBackend")
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+def test_cell(benchmark, workers):
+    """One per-backend sweep at a fixed worker count."""
+    result = benchmark.pedantic(
+        lambda: sharded_throughput(workers=workers), rounds=1, iterations=1
+    )
+    assert set(result.series) == set(SERIES)
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the figure; enforce the process-beats-serial bar."""
+    result = emit_figure(benchmark, sharded_throughput)
+    assert result.meta["num_cells"]["flickr"] >= 2, "flickr workload must be multi-shard"
+    speedups = result.meta["speedup_over_serial"]["flickr"]
+    if usable_cpus() < 2:
+        pytest.skip(
+            f"only {usable_cpus()} usable CPU(s): process fan-out cannot beat "
+            f"serial here (measured {speedups['ProcessBackend']:.2f}x)"
+        )
+    assert speedups["ProcessBackend"] > 1.0, (
+        f"ProcessBackend only {speedups['ProcessBackend']:.2f}x over serial "
+        f"on the multi-shard flickr workload with {usable_cpus()} CPUs"
+    )

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Sharded serving demo: partition-routed KOR over a Flickr-like city.
+
+Walks through the full ShardedQueryService story:
+
+1. partition the city graph into cells and build one engine per cell
+   (plus the global exactness tier);
+2. show the routing rule at work — which queries stay cell-local, which
+   scatter to the global engine, and why;
+3. run the same batch on all three execution backends (serial, thread
+   pool, process pool) and compare wall clock;
+4. read the per-shard counters off the service stats.
+
+Run:  PYTHONPATH=src python examples/sharded_demo.py
+"""
+
+import time
+from collections import Counter
+
+from repro.datasets.flickr import FlickrConfig, build_flickr_graph
+from repro.datasets.photos import PhotoStreamConfig
+from repro.datasets.queries import QuerySetConfig, generate_query_set
+from repro.prep.tables import CostTables
+from repro.service import (
+    ProcessBackend,
+    SerialBackend,
+    ShardedQueryService,
+    ThreadBackend,
+)
+
+
+def build_city():
+    config = FlickrConfig(
+        photo_stream=PhotoStreamConfig(num_users=150, num_hotspots=60, seed=3)
+    )
+    return build_flickr_graph(config).graph
+
+
+def build_batch(service, count=30, seed=11):
+    """Distinct queries drawn from the city's own vocabulary."""
+    engine = service.global_engine
+    config = QuerySetConfig(
+        num_queries=count, num_keywords=3, budget_limit=5.0, seed=seed
+    )
+    return generate_query_set(engine.graph, engine.index, config, tables=engine.tables)
+
+
+def main():
+    graph = build_city()
+    print(f"flickr-like city: {graph.num_nodes} locations, {graph.num_edges} arcs")
+
+    service = ShardedQueryService(graph, backend=SerialBackend(), cache_capacity=0)
+    sizes = [shard.num_nodes for shard in service.shards]
+    flat_mb = CostTables.from_graph(graph, predecessors=False).os_tau.nbytes * 4 / 1e6
+    print(
+        f"partitioned into {service.num_shards} cells of {min(sizes)}-{max(sizes)} "
+        f"nodes + 1 global tier (flat score tables alone: {flat_mb:.1f} MB)\n"
+    )
+
+    batch = build_batch(service)
+    plans = Counter(service.plan_of(query) for query in batch)
+    print(f"routing {len(batch)} queries: ", dict(plans))
+    print(
+        "  'local' runs on one cell engine (answer is an upper bound, but\n"
+        "  any route it finds is genuinely feasible); everything else — and\n"
+        "  every local miss — scatters to the global engine, so feasibility\n"
+        "  matches the flat service exactly for the complete algorithms.\n"
+    )
+
+    backends = (
+        ("serial ", SerialBackend()),
+        ("threads", ThreadBackend(workers=4)),
+        ("procs  ", ProcessBackend(workers=4)),
+    )
+    for name, backend in backends:
+        svc = ShardedQueryService(graph, backend=backend, cache_capacity=0)
+        svc.run_batch(batch[:4], algorithm="bucketbound")  # warm pools/engines
+        begin = time.perf_counter()
+        results = svc.run_batch(batch, algorithm="bucketbound", workers=4)
+        wall = time.perf_counter() - begin
+        feasible = sum(result.feasible for result in results)
+        print(
+            f"{name} backend: {1000.0 * wall:7.1f} ms "
+            f"({len(batch) / wall:6.0f} qps, {feasible}/{len(batch)} feasible)"
+        )
+        backend.close()
+    print("\n(on a single-CPU box the pools cannot beat serial — the point of\n"
+          " the process pool is multi-core batch fan-out past the GIL)\n")
+
+    service.run_batch(batch, algorithm="bucketbound")
+    snapshot = service.snapshot()
+    print("per-shard task counters:")
+    for shard, tasks in sorted(snapshot.shard_tasks.items()):
+        print(f"  {shard:18s} {tasks:4d} tasks")
+    print("\nserving metrics:", snapshot.describe())
+
+    best = min(
+        (r for r in service.run_batch(batch, algorithm="bucketbound") if r.feasible),
+        key=lambda r: r.objective_score,
+        default=None,
+    )
+    if best is not None:
+        print("\nsample answer (best objective in the batch):")
+        print(" ", best.route.describe(graph))
+
+
+if __name__ == "__main__":
+    main()

@@ -55,9 +55,14 @@ from repro.prep import CostTables
 from repro.service import (
     BatchError,
     BatchReport,
+    ExecutionBackend,
+    ProcessBackend,
     QueryService,
     ResultCache,
+    SerialBackend,
     ServiceStats,
+    ShardedQueryService,
+    ThreadBackend,
     canonical_cache_key,
 )
 
@@ -69,6 +74,7 @@ __all__ = [
     "BatchReport",
     "CostTables",
     "DatasetError",
+    "ExecutionBackend",
     "GraphBuilder",
     "GraphError",
     "InvertedIndex",
@@ -78,6 +84,7 @@ __all__ = [
     "KeywordTable",
     "KkRResult",
     "PrepError",
+    "ProcessBackend",
     "QueryError",
     "QueryService",
     "ReproError",
@@ -85,8 +92,11 @@ __all__ = [
     "Route",
     "SearchStats",
     "SearchTrace",
+    "SerialBackend",
     "ServiceStats",
+    "ShardedQueryService",
     "SpatialKeywordGraph",
+    "ThreadBackend",
     "StorageError",
     "Vocabulary",
     "branch_and_bound",

@@ -63,6 +63,7 @@ __all__ = [
     "ablation_opt_strategies",
     "ablation_epsilon_labels",
     "service_throughput",
+    "sharded_throughput",
     "all_experiments",
     "clear_cell_cache",
 ]
@@ -944,6 +945,113 @@ def service_throughput(
     )
 
 
+def sharded_throughput(
+    workers: int = 4, num_queries: int | None = None, num_cells: int | None = None
+) -> ExperimentResult:
+    """Sharded serving: batch throughput per execution backend.
+
+    Runs one batch of *distinct* queries (cache disabled — this measures
+    compute fan-out, not the cache) through a
+    :class:`~repro.service.sharding.ShardedQueryService` on each backend:
+
+    * ``SerialBackend`` — the single-thread floor;
+    * ``ThreadBackend`` — PR 1's concurrency (GIL-bound);
+    * ``ProcessBackend`` — process-pool fan-out over picklable shard
+      handles, the backend that escapes the GIL.
+
+    Two datasets: the Figure-1 toy graph (queries are microseconds, so
+    process IPC overhead is visible) and the Flickr-like workload (the
+    multi-shard batch workload the process pool is *for*).  Values are
+    batch throughput in queries/second; ``meta`` records each backend's
+    speedup over serial per dataset.  Every backend is warmed with one
+    un-timed pass so pool spin-up and worker-side engine assembly are
+    not billed to the timed batch.
+    """
+    import time as _time
+
+    from repro.core.query import KORQuery
+    from repro.graph.generators import figure_1_graph
+    from repro.service import ProcessBackend, SerialBackend, ShardedQueryService, ThreadBackend
+
+    fig1_queries = []
+    for spread, delta in enumerate((8.0, 9.0, 10.0, 11.0, 12.0, 13.0)):
+        for keywords in (("t1", "t2", "t3"), ("t1", "t2"), ("t2", "t4"), ("t3",)):
+            fig1_queries.append(KORQuery(0, 7, keywords, delta + 0.1 * spread))
+    datasets: list[tuple[str, object, list[KORQuery], int]] = [
+        ("figure1", figure_1_graph(), fig1_queries, 2)
+    ]
+
+    workload = flickr_workload()
+    flickr_queries: list[KORQuery] = []
+    for kw in (2, 3, 4):
+        flickr_queries.extend(
+            workload.query_set(kw, 6.0, num_queries=num_queries)
+        )
+    datasets.append(("flickr", workload.graph, flickr_queries, num_cells or 0))
+
+    backends = (
+        ("SerialBackend", lambda: SerialBackend()),
+        ("ThreadBackend", lambda: ThreadBackend(workers=workers)),
+        ("ProcessBackend", lambda: ProcessBackend(workers=workers)),
+    )
+    import os
+
+    try:
+        usable_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        usable_cpus = os.cpu_count() or 1
+
+    xs = [name for name, _graph, _queries, _cells in datasets]
+    series: dict[str, list[float]] = {name: [] for name, _factory in backends}
+    meta: dict = {
+        "workers": workers,
+        #: Process fan-out can only beat serial when this is > 1.
+        "usable_cpus": usable_cpus,
+        "batch_sizes": {name: len(queries) for name, _g, queries, _c in datasets},
+        "num_cells": {},
+        "speedup_over_serial": {},
+    }
+
+    for dataset_name, graph, queries, cells in datasets:
+        walls: dict[str, float] = {}
+        for backend_name, factory in backends:
+            backend = factory()
+            try:
+                service = ShardedQueryService(
+                    graph,
+                    num_cells=cells or None,
+                    backend=backend,
+                    cache_capacity=0,
+                )
+                meta["num_cells"][dataset_name] = service.num_shards
+                # Warm pass: pool spin-up + worker engine assembly.
+                service.run_batch(queries, algorithm="bucketbound", workers=workers)
+                begin = _time.perf_counter()
+                service.run_batch(queries, algorithm="bucketbound", workers=workers)
+                walls[backend_name] = _time.perf_counter() - begin
+            finally:
+                backend.close()
+            series[backend_name].append(len(queries) / walls[backend_name])
+        meta["speedup_over_serial"][dataset_name] = {
+            backend_name: walls["SerialBackend"] / walls[backend_name]
+            for backend_name, _factory in backends
+        }
+
+    return ExperimentResult(
+        figure="sharded_throughput",
+        title="Sharded serving throughput per execution backend",
+        x_name="dataset",
+        xs=xs,
+        series=series,
+        y_name="queries / second",
+        notes=(
+            f"one batch of distinct queries, cache disabled, {workers} workers; "
+            "sharded routing with global fallback; warm pass excluded from timing"
+        ),
+        meta=meta,
+    )
+
+
 # ----------------------------------------------------------------------
 # everything, for run_all.py
 # ----------------------------------------------------------------------
@@ -972,4 +1080,5 @@ def all_experiments() -> list:
         ablation_partition,
         ablation_disk_index,
         service_throughput,
+        sharded_throughput,
     ]

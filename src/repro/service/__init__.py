@@ -1,4 +1,4 @@
-"""repro.service — batched, cached, concurrent KOR serving layer.
+"""repro.service — batched, cached, sharded, multi-backend KOR serving.
 
 The algorithms in :mod:`repro.core` answer one query at a time and
 recompute every per-keyword candidate set from scratch.  Real workloads
@@ -7,53 +7,85 @@ with heavy keyword and whole-query repetition, so a serving layer can
 amortise most of that work.  This package adds one:
 
 ``QueryService``
-    The front door.  Wraps a :class:`repro.core.engine.KOREngine` with
+    The flat front door.  Wraps a :class:`repro.core.engine.KOREngine`
+    with
 
     * a **canonicalizing LRU result cache** — keyword order and
       duplicates never change the cache key, so ``("pub", "mall")`` and
-      ``("mall", "pub", "pub")`` hit the same entry; capacity and
-      hit/miss counters are exposed (:mod:`repro.service.cache`);
+      ``("mall", "pub", "pub")`` hit the same entry; capacity, an
+      optional total-route-size budget, hit/miss counters and
+      epoch-based invalidation are exposed (:mod:`repro.service.cache`);
     * a **batch executor** — a list of :class:`repro.core.query.KORQuery`
       objects is deduplicated against the cache and against itself, the
       batch's *union* of keywords is resolved through the index exactly
       once (``index.candidate_sets``), and the remaining unique queries
-      fan out over a ``ThreadPoolExecutor``.  Results come back in
+      fan out over a pluggable execution backend.  Results come back in
       submission order regardless of worker count, and one failing query
       is reported per-slot without poisoning the cache or its neighbours
       (:mod:`repro.service.batch`);
-    * **serving metrics** — p50/p95 latency, cache hit rate and
-      throughput via :class:`repro.service.stats.ServiceStats`, consumed
-      by ``repro.bench.harness.run_service_query_set`` and the
-      ``service_throughput`` benchmark.
+    * **serving metrics** — p50/p95 latency, cache hit rate, throughput
+      and per-shard task counters via
+      :class:`repro.service.stats.ServiceStats`.
+
+``ShardedQueryService``
+    The partition-routed tier (:mod:`repro.service.sharding`): the graph
+    is split into cells (:func:`repro.prep.partition.partition_graph`),
+    each cell gets its own engine (tables + index over the induced
+    subgraph), queries route to the cell owning their source node, and
+    anything spanning cells falls back to scatter-gather that ends at a
+    global exactness engine.  Cell answers are upper bounds merged by
+    objective score; see the module docstring for the full contract.
+
+``ExecutionBackend``
+    Where compute actually runs (:mod:`repro.service.backends`):
+    ``SerialBackend`` (reference/debugging), ``ThreadBackend``
+    (GIL-sharing pool, cheapest for numpy-heavy work) and
+    ``ProcessBackend`` (a ``ProcessPoolExecutor`` over picklable
+    :class:`~repro.service.backends.EngineHandle` shard state — the
+    backend that scales CPU-bound batch fan-out past the GIL).
 
 Quickstart::
 
-    from repro import KOREngine, KORQuery, figure_1_graph
-    from repro.service import QueryService
+    from repro import KORQuery, figure_1_graph
+    from repro.service import ProcessBackend, ShardedQueryService
 
-    service = QueryService(KOREngine(figure_1_graph()), cache_capacity=512)
+    service = ShardedQueryService(figure_1_graph(), num_cells=2,
+                                  backend=ProcessBackend(workers=4))
     batch = [KORQuery(0, 7, ("t1", "t2"), 8.0) for _ in range(100)]
-    results = service.run_batch(batch, algorithm="bucketbound", workers=4)
-    print(service.stats.snapshot())          # p50/p95, hit rate, qps
+    results = service.run_batch(batch, algorithm="bucketbound")
+    print(service.stats.snapshot().describe())   # p50/p95, hit rate, shards
 
 Guarantees (backed by ``tests/service/``):
 
-* **Differential** — batch results are semantically identical to a
-  sequential ``engine.run`` loop for every algorithm in ``ALGORITHMS``,
-  cached or not.
-* **Deterministic** — the same batch yields the same result list with 1
-  or N workers.
-* **Isolated failures** — a query that raises ``QueryError`` marks only
-  its own slot; nothing about it is cached.
-
-Known limits (see ROADMAP "Open items"): single-process threads only (no
-sharding across graphs), synchronous API (no async backend), and the
-cache stores full ``KORResult`` objects (no size-aware eviction).
+* **Differential** — flat batch results are semantically identical to a
+  sequential ``engine.run`` loop for every algorithm in ``ALGORITHMS``;
+  sharded results are feasibility-equivalent to the flat engine for the
+  complete algorithms and never score better than the exact optimum,
+  and ``num_cells=1`` reproduces the flat engine exactly.
+* **Backend-deterministic** — the same batch yields byte-identical
+  result lists on serial, thread and process backends, any worker count.
+* **Isolated failures** — a query that raises marks only its own slot;
+  nothing about it enters the cache, on any backend.
+* **No stale serving** — rebuilding/replacing an engine bumps the cache
+  epoch: old entries vanish and in-flight writes against the old engine
+  are dropped.
 """
 
+from repro.service.backends import (
+    EngineHandle,
+    ExecutionBackend,
+    ProcessBackend,
+    RemoteTaskError,
+    SerialBackend,
+    ShardTask,
+    TaskOutcome,
+    ThreadBackend,
+    backend_from_name,
+)
 from repro.service.batch import BatchError, BatchItem, BatchReport
 from repro.service.cache import CacheStats, ResultCache, canonical_cache_key
 from repro.service.service import QueryService
+from repro.service.sharding import Shard, ShardedQueryService
 from repro.service.stats import ServiceStats, StatsSnapshot
 
 __all__ = [
@@ -61,9 +93,20 @@ __all__ = [
     "BatchItem",
     "BatchReport",
     "CacheStats",
+    "EngineHandle",
+    "ExecutionBackend",
+    "ProcessBackend",
     "QueryService",
+    "RemoteTaskError",
     "ResultCache",
+    "SerialBackend",
     "ServiceStats",
+    "Shard",
+    "ShardTask",
+    "ShardedQueryService",
     "StatsSnapshot",
+    "TaskOutcome",
+    "ThreadBackend",
+    "backend_from_name",
     "canonical_cache_key",
 ]

@@ -1,0 +1,502 @@
+"""Pluggable execution backends for the serving layer.
+
+The serving layer describes compute work in one of two currencies:
+
+* **in-process closures** — the batch executor's per-unit ``compute``
+  functions, which capture live engine objects and a shared candidate
+  map (cheap, but GIL-bound);
+* **shard tasks** — :class:`ShardTask`, a picklable description of "run
+  this query, with this algorithm and these parameters, against the
+  engine registered under this shard key".
+
+:class:`SerialBackend` and :class:`ThreadBackend` execute both kinds in
+the calling process.  :class:`ProcessBackend` executes shard tasks in a
+``concurrent.futures.ProcessPoolExecutor``: every registered engine is
+wrapped in a picklable :class:`EngineHandle` (graph + pre-built cost
+tables + inverted index — no locks, no open files), shipped to each
+worker exactly once through the pool initializer, and materialised into
+a worker-local :class:`repro.core.engine.KOREngine` on first use.  That
+is what finally lets CPU-bound batch fan-out scale past the GIL.
+
+All three backends return outcomes **in task submission order**, so
+callers get deterministic slot assignment no matter how many workers
+raced, and a task that raises is reported through its own
+:class:`TaskOutcome` without disturbing its neighbours.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.engine import KOREngine
+from repro.core.query import KORQuery
+from repro.core.results import KORResult
+from repro.exceptions import QueryError
+
+__all__ = [
+    "DEFAULT_WORKERS",
+    "EngineHandle",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "RemoteTaskError",
+    "SerialBackend",
+    "ShardTask",
+    "TaskOutcome",
+    "ThreadBackend",
+    "backend_from_name",
+]
+
+#: Fan-out width when the caller does not pick one.
+DEFAULT_WORKERS = 4
+
+_HANDLE_COUNTER = itertools.count()
+
+
+class EngineHandle:
+    """A picklable handle to one engine (one shard's worth of state).
+
+    In the owning process the handle wraps a live engine.  Pickling ships
+    the graph plus the *pre-built* cost tables and inverted index (plain
+    dataclasses over numpy arrays), so a receiving worker process pays
+    zero pre-processing: :meth:`engine` reassembles a
+    :class:`~repro.core.engine.KOREngine` from the parts on first use and
+    caches it for the life of the worker.
+
+    ``key`` identifies the handle across process boundaries; two handles
+    never share a key unless one was pickled from the other.
+    """
+
+    __slots__ = ("key", "_graph", "_tables", "_index", "_engine")
+
+    def __init__(self, engine: KOREngine, key: str | None = None) -> None:
+        self.key = key if key is not None else f"engine-{next(_HANDLE_COUNTER)}"
+        self._engine: KOREngine | None = engine
+        self._graph = engine.graph
+        self._tables = engine.tables
+        self._index = engine.index
+
+    def engine(self) -> KOREngine:
+        """The live engine (materialised from parts after unpickling)."""
+        if self._engine is None:
+            self._engine = KOREngine(self._graph, tables=self._tables, index=self._index)
+        return self._engine
+
+    def __getstate__(self) -> dict:
+        return {
+            "key": self.key,
+            "graph": self._graph,
+            "tables": self._tables,
+            "index": self._index,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.key = state["key"]
+        self._graph = state["graph"]
+        self._tables = state["tables"]
+        self._index = state["index"]
+        self._engine = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EngineHandle({self.key!r}, {self._graph.num_nodes} nodes)"
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One picklable unit of work: a query against one registered shard.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs rather than a
+    dict so tasks are hashable and their pickled form is deterministic.
+    """
+
+    shard: str
+    query: KORQuery
+    algorithm: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        shard: str,
+        query: KORQuery,
+        algorithm: str,
+        params: Mapping[str, object] | None = None,
+    ) -> "ShardTask":
+        """Normalise a params mapping into task form."""
+        items = tuple(sorted(params.items())) if params else ()
+        return cls(shard=shard, query=query, algorithm=algorithm, params=items)
+
+
+@dataclass
+class TaskOutcome:
+    """What one :class:`ShardTask` produced (result or error, never both)."""
+
+    result: KORResult | None = None
+    error: Exception | None = None
+    latency_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task produced a result."""
+        return self.error is None and self.result is not None
+
+
+class RemoteTaskError(QueryError):
+    """A worker-process failure whose original exception could not cross
+    the process boundary; carries the original type name and message."""
+
+
+def run_task_on_engine(engine: KOREngine, task: ShardTask) -> TaskOutcome:
+    """Execute *task* against a live *engine*, capturing error and timing."""
+    begin = time.perf_counter()
+    try:
+        result = engine.run(task.query, algorithm=task.algorithm, **dict(task.params))
+        return TaskOutcome(result=result, latency_seconds=time.perf_counter() - begin)
+    except Exception as error:  # noqa: BLE001 - reported per task
+        return TaskOutcome(error=error, latency_seconds=time.perf_counter() - begin)
+
+
+# ----------------------------------------------------------------------
+# process-worker plumbing (module level so it pickles by reference)
+# ----------------------------------------------------------------------
+
+_WORKER_HANDLES: dict[str, EngineHandle] = {}
+
+
+def _process_worker_init(handles: tuple[EngineHandle, ...]) -> None:
+    """Pool initializer: install this pool generation's shard handles."""
+    _WORKER_HANDLES.clear()
+    _WORKER_HANDLES.update({handle.key: handle for handle in handles})
+
+
+def _portable_error(error: Exception) -> Exception:
+    """An exception guaranteed to survive pickling back to the parent."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:  # noqa: BLE001 - any pickling failure downgrades
+        return RemoteTaskError(f"{type(error).__name__}: {error}")
+
+
+def _process_run_task(task: ShardTask) -> TaskOutcome:
+    """Worker-side task entry point (looks the engine up by shard key)."""
+    handle = _WORKER_HANDLES.get(task.shard)
+    if handle is None:
+        return TaskOutcome(
+            error=RemoteTaskError(
+                f"shard {task.shard!r} is not registered in this worker; "
+                f"known shards: {sorted(_WORKER_HANDLES)}"
+            )
+        )
+    outcome = run_task_on_engine(handle.engine(), task)
+    if outcome.error is not None:
+        outcome.error = _portable_error(outcome.error)
+    return outcome
+
+
+def _worker_ping(_: int) -> bool:
+    """No-op used by :meth:`ProcessBackend.warm_up`."""
+    return True
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+
+
+class ExecutionBackend(ABC):
+    """Strategy for executing serving-layer work.
+
+    ``in_process`` backends additionally support :meth:`map` over
+    arbitrary closures (the batch executor's shared-candidate fast path);
+    out-of-process backends only accept :class:`ShardTask` work, whose
+    engines must first be made known via :meth:`register`.
+    """
+
+    #: Stable name used by benchmarks, stats and ``backend_from_name``.
+    name: str = "?"
+    #: Whether closures sharing parent memory can run on this backend.
+    in_process: bool = True
+
+    def __init__(self) -> None:
+        self._handles: dict[str, EngineHandle] = {}
+
+    # -- shard registry ------------------------------------------------
+    def register(self, handle: EngineHandle) -> EngineHandle:
+        """Make *handle*'s engine addressable by tasks naming its key."""
+        existing = self._handles.get(handle.key)
+        if existing is handle:
+            return handle
+        self._handles[handle.key] = handle
+        self._on_register(handle)
+        return handle
+
+    def register_engine(self, engine: KOREngine, key: str | None = None) -> EngineHandle:
+        """Convenience: wrap *engine* in a handle and register it."""
+        return self.register(EngineHandle(engine, key=key))
+
+    def unregister(self, key: str) -> None:
+        """Forget the shard under *key* (a no-op for unknown keys).
+
+        Callers that retire an engine (e.g. ``replace_engine``) must
+        unregister its handle, or the backend keeps the graph, tables
+        and index alive — and keeps shipping them to pool workers.
+        """
+        if self._handles.pop(key, None) is not None:
+            self._on_registry_change()
+
+    def _on_register(self, handle: EngineHandle) -> None:
+        """Hook for backends that must propagate registry additions."""
+        self._on_registry_change()
+
+    def _on_registry_change(self) -> None:
+        """Hook for backends that must propagate any registry change."""
+
+    @property
+    def shard_keys(self) -> tuple[str, ...]:
+        """Keys of every registered shard, sorted."""
+        return tuple(sorted(self._handles))
+
+    def _handle_for(self, task: ShardTask) -> EngineHandle:
+        handle = self._handles.get(task.shard)
+        if handle is None:
+            raise QueryError(
+                f"shard {task.shard!r} is not registered with this "
+                f"{type(self).__name__}; known shards: {sorted(self._handles)}"
+            )
+        return handle
+
+    def _run_one(self, task: ShardTask) -> TaskOutcome:
+        try:
+            handle = self._handle_for(task)
+        except QueryError as error:
+            return TaskOutcome(error=error)
+        return run_task_on_engine(handle.engine(), task)
+
+    # -- execution -----------------------------------------------------
+    @abstractmethod
+    def run_tasks(
+        self, tasks: Sequence[ShardTask], workers: int | None = None
+    ) -> list[TaskOutcome]:
+        """Execute *tasks*, returning outcomes in submission order."""
+
+    def map(
+        self,
+        fn: Callable[[object], object],
+        items: Sequence[object],
+        workers: int | None = None,
+    ) -> list[object]:
+        """Apply an in-process closure to every item (submission order).
+
+        Out-of-process backends raise :class:`QueryError` — closures
+        cannot cross the process boundary; describe the work as
+        :class:`ShardTask` objects instead.
+        """
+        raise QueryError(
+            f"{type(self).__name__} cannot execute in-process closures; "
+            "submit ShardTask work via run_tasks() instead"
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(shards={list(self._handles)})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Everything in the calling thread — the reference implementation.
+
+    Useful as the determinism baseline and for debugging (tracebacks
+    point straight at the failing query).
+    """
+
+    name = "serial"
+    in_process = True
+
+    def run_tasks(
+        self, tasks: Sequence[ShardTask], workers: int | None = None
+    ) -> list[TaskOutcome]:
+        return [self._run_one(task) for task in tasks]
+
+    def map(
+        self,
+        fn: Callable[[object], object],
+        items: Sequence[object],
+        workers: int | None = None,
+    ) -> list[object]:
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """``ThreadPoolExecutor`` fan-out — PR 1's concurrency, as a backend.
+
+    Threads share the parent's engines directly (no pickling), which
+    makes this the cheapest concurrent backend for I/O-ish or
+    numpy-heavy work, but CPU-bound pure-python search loops still share
+    the GIL; see :class:`ProcessBackend` for those.
+
+    Pools are transient per call, sized ``workers`` (argument) falling
+    back to the construction-time default — identical lifecycle to the
+    executor the batch module used to own.
+    """
+
+    name = "thread"
+    in_process = True
+
+    def __init__(self, workers: int = DEFAULT_WORKERS) -> None:
+        super().__init__()
+        if workers < 1:
+            raise QueryError(f"thread backend workers must be >= 1, got {workers}")
+        self._workers = workers
+
+    def _effective_workers(self, workers: int | None) -> int:
+        if workers is None:
+            return self._workers
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        return workers
+
+    def map(
+        self,
+        fn: Callable[[object], object],
+        items: Sequence[object],
+        workers: int | None = None,
+    ) -> list[object]:
+        effective = self._effective_workers(workers)
+        if effective <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=effective) as pool:
+            return list(pool.map(fn, items))
+
+    def run_tasks(
+        self, tasks: Sequence[ShardTask], workers: int | None = None
+    ) -> list[TaskOutcome]:
+        return self.map(self._run_one, tasks, workers=workers)
+
+
+class ProcessBackend(ExecutionBackend):
+    """``ProcessPoolExecutor`` fan-out over picklable shard handles.
+
+    The pool is created lazily; its initializer installs every handle
+    registered *so far* into each worker, so registering a new shard
+    after the pool exists retires the old pool (workers would not know
+    the new key) and the next :meth:`run_tasks` builds a fresh one.
+    Engines are materialised worker-side from pre-built parts — workers
+    never repeat the tables/index pre-processing.
+
+    ``workers=None`` lets ``concurrent.futures`` size the pool to the
+    machine.  The per-call ``workers`` argument is ignored (a process
+    pool's width is fixed at creation); pass it at construction instead.
+    """
+
+    name = "process"
+    in_process = False
+
+    def __init__(self, workers: int | None = None, start_method: str | None = None) -> None:
+        super().__init__()
+        if workers is not None and workers < 1:
+            raise QueryError(f"process backend workers must be >= 1, got {workers}")
+        self._workers = workers
+        self._start_method = start_method
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _on_registry_change(self) -> None:
+        # Workers of an existing pool were initialised with a different
+        # handle set; retire the pool so the next run ships the current one.
+        self.close()
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing
+
+            context = (
+                multiprocessing.get_context(self._start_method)
+                if self._start_method is not None
+                else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=context,
+                initializer=_process_worker_init,
+                initargs=(tuple(self._handles.values()),),
+            )
+        return self._executor
+
+    def warm_up(self) -> None:
+        """Start the pool and spawn its worker processes.
+
+        Submitting a full round of no-ops makes the executor spawn every
+        worker process up front, so a later timed run does not pay
+        process start-up.  Per-shard engine assembly inside each worker
+        is still lazy — warm real engines by running one un-timed batch.
+        """
+        pool = self._pool()
+        width = pool._max_workers  # noqa: SLF001 - executor exposes no getter
+        list(pool.map(_worker_ping, range(width)))
+
+    def run_tasks(
+        self, tasks: Sequence[ShardTask], workers: int | None = None
+    ) -> list[TaskOutcome]:
+        if not tasks:
+            return []
+        known = set(self._handles)
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        dispatch: list[tuple[int, ShardTask]] = []
+        for position, task in enumerate(tasks):
+            if task.shard in known:
+                dispatch.append((position, task))
+            else:
+                # Fail fast in the parent: the workers would only echo this.
+                outcomes[position] = self._run_one(task)
+        if dispatch:
+            pool = self._pool()
+            # Chunk to amortise IPC per task while keeping enough chunks
+            # for the pool to balance uneven query costs.
+            chunksize = max(1, len(dispatch) // (pool._max_workers * 4))  # noqa: SLF001
+            remote = pool.map(
+                _process_run_task,
+                [task for _, task in dispatch],
+                chunksize=chunksize,
+            )
+            for (position, _task), outcome in zip(dispatch, remote):
+                outcomes[position] = outcome
+        return outcomes
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def backend_from_name(
+    name: str, workers: int | None = None, **kwargs
+) -> ExecutionBackend:
+    """Build a backend from its :attr:`~ExecutionBackend.name`.
+
+    Recognised names: ``serial``, ``thread``, ``process``.  This is what
+    the test suite and CI matrix use to honour the ``REPRO_BACKEND``
+    environment variable.
+    """
+    normalized = name.strip().lower()
+    if normalized == "serial":
+        return SerialBackend()
+    if normalized == "thread":
+        return ThreadBackend(workers=workers if workers is not None else DEFAULT_WORKERS)
+    if normalized == "process":
+        return ProcessBackend(workers=workers, **kwargs)
+    raise QueryError(
+        f"unknown execution backend {name!r}; expected serial, thread or process"
+    )

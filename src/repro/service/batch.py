@@ -1,4 +1,4 @@
-"""Batch execution: dedup, shared candidate sets, concurrent fan-out.
+"""Batch execution: dedup, shared candidate sets, pluggable fan-out.
 
 ``execute_batch`` is the engine room of ``QueryService.run_batch``:
 
@@ -9,21 +9,26 @@
 3. the union of the miss queries' keywords is resolved through the
    engine's index in a single ``candidate_sets`` call, so a keyword
    shared by hundreds of queries costs one posting lookup;
-4. unique computations fan out over a ``ThreadPoolExecutor`` (every
-   per-query structure — binding, labels, scaling — is private to its
-   task; the graph, tables and candidate map are only read);
+4. unique computations fan out over the caller's
+   :class:`repro.service.backends.ExecutionBackend` — an in-process
+   backend (serial / thread pool) runs closures sharing the engine and
+   the candidate map directly, while an out-of-process backend receives
+   picklable :class:`~repro.service.backends.ShardTask` work addressed
+   at the engine's registered handle (each worker process resolves its
+   own binding; candidate sharing is an in-process optimisation only);
 5. results land back in their slots, so the report's order is the
    submission order no matter how many workers raced.
 
 A slot whose computation raises is reported through its
 :class:`BatchItem.error`; nothing about it enters the cache and no other
-slot is disturbed.
+slot is disturbed.  Cache writes carry the epoch captured before the
+batch computed, so a cache invalidated mid-batch (engine swap) never
+receives stale routes.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
@@ -31,12 +36,16 @@ from repro.core.engine import KOREngine
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
 from repro.exceptions import QueryError
+from repro.service.backends import (
+    DEFAULT_WORKERS,
+    EngineHandle,
+    ExecutionBackend,
+    ShardTask,
+    ThreadBackend,
+)
 from repro.service.cache import UNCACHEABLE_PARAMS, ResultCache, canonical_cache_key
 
 __all__ = ["BatchError", "BatchItem", "BatchReport", "execute_batch"]
-
-#: Fan-out width when the caller does not pick one.
-DEFAULT_WORKERS = 4
 
 
 @dataclass
@@ -49,6 +58,9 @@ class BatchItem:
     error: Exception | None = None
     cached: bool = False
     latency_seconds: float = 0.0
+    #: Key of the engine handle the computation was addressed to (the
+    #: winning shard on a sharded service); None for cache hits.
+    shard: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -112,6 +124,53 @@ class _Unit:
     result: KORResult | None = None
     error: Exception | None = None
     latency_seconds: float = 0.0
+    shard: str | None = None
+
+
+def dedup_units(
+    items: list[BatchItem],
+    keys: list[Hashable | None],
+    cache: ResultCache,
+    cacheable: bool,
+    epoch: int | None,
+) -> list[_Unit]:
+    """Probe the cache and fold the misses into per-key units.
+
+    Cache hits are written straight into their items; the returned units
+    cover exactly the slots that still need computing, deduplicated by
+    canonical key within the batch.
+    """
+    units: list[_Unit] = []
+    by_key: dict[Hashable, _Unit] = {}
+    for item in items:
+        key = keys[item.index]
+        hit = cache.get(key, epoch=epoch) if cacheable else None
+        if hit is not None:
+            item.result = hit
+            item.cached = True
+            continue
+        if cacheable and key in by_key:
+            by_key[key].slots.append(item.index)
+            continue
+        unit = _Unit(query=item.query, slots=[item.index], key=key)
+        units.append(unit)
+        if cacheable:
+            by_key[key] = unit
+    return units
+
+
+def batch_keys(
+    queries: Sequence[KORQuery], algorithm: str, params: dict
+) -> tuple[bool, list[Hashable | None]]:
+    """Canonical keys for a batch (and whether it is cacheable at all)."""
+    cacheable = not (UNCACHEABLE_PARAMS & params.keys())
+    if cacheable:
+        try:
+            return True, [canonical_cache_key(q, algorithm, params) for q in queries]
+        except QueryError:
+            # Unhashable parameter values: serve the batch, skip the cache.
+            pass
+    return False, [None] * len(queries)
 
 
 def execute_batch(
@@ -121,8 +180,17 @@ def execute_batch(
     algorithm: str = "bucketbound",
     workers: int | None = None,
     params: dict | None = None,
+    backend: ExecutionBackend | None = None,
+    handle: EngineHandle | None = None,
 ) -> BatchReport:
-    """Run *queries* through *engine* with caching and shared candidates."""
+    """Run *queries* through *engine* with caching and shared candidates.
+
+    ``backend`` picks the execution strategy (default: a transient
+    :class:`~repro.service.backends.ThreadBackend`, the pre-backend
+    behaviour).  An out-of-process backend additionally needs ``handle``
+    — the engine's registered :class:`EngineHandle` — so tasks can name
+    the engine across the process boundary.
+    """
     params = dict(params or {})
     if "binding" in params or "candidates" in params:
         # A binding describes exactly one query and the executor builds its
@@ -135,65 +203,85 @@ def execute_batch(
     queries = list(queries)
     items = [BatchItem(index=i, query=query) for i, query in enumerate(queries)]
 
-    cacheable = not (UNCACHEABLE_PARAMS & params.keys())
-    keys: list[Hashable | None] = [None] * len(queries)
-    if cacheable:
-        try:
-            keys = [canonical_cache_key(q, algorithm, params) for q in queries]
-        except QueryError:
-            # Unhashable parameter values: serve the batch, skip the cache.
-            cacheable = False
-            keys = [None] * len(queries)
-
-    # Probe the cache; collect misses into per-key units (in-batch dedup).
-    units: list[_Unit] = []
-    by_key: dict[Hashable, _Unit] = {}
-    for item in items:
-        key = keys[item.index]
-        hit = cache.get(key) if cacheable else None
-        if hit is not None:
-            item.result = hit
-            item.cached = True
-            continue
-        if cacheable and key in by_key:
-            by_key[key].slots.append(item.index)
-            continue
-        unit = _Unit(query=item.query, slots=[item.index], key=key)
-        units.append(unit)
-        if cacheable:
-            by_key[key] = unit
+    cacheable, keys = batch_keys(queries, algorithm, params)
+    epoch = cache.epoch if cacheable else None
+    units = dedup_units(items, keys, cache, cacheable, epoch)
 
     if units:
-        # One index pass for the whole batch: the union of every miss
-        # query's keywords, resolved to candidate node sets exactly once.
-        words = {word for unit in units for word in unit.query.keywords}
-        candidates = engine.candidate_sets(words) if words else {}
-
-        def compute(unit: _Unit) -> None:
-            unit_begin = time.perf_counter()
-            try:
-                binding = engine.bind(unit.query, candidates=candidates)
-                unit.result = engine.run(
-                    unit.query, algorithm=algorithm, binding=binding, **params
-                )
-            except Exception as error:  # noqa: BLE001 - reported per slot
-                unit.error = error
-            unit.latency_seconds = time.perf_counter() - unit_begin
-
-        effective = workers if workers is not None else DEFAULT_WORKERS
-        if effective <= 1 or len(units) == 1:
-            for unit in units:
-                compute(unit)
+        if backend is None:
+            backend = ThreadBackend(DEFAULT_WORKERS)
+        if backend.in_process:
+            _compute_in_process(engine, units, algorithm, params, backend, workers)
         else:
-            with ThreadPoolExecutor(max_workers=effective) as pool:
-                list(pool.map(compute, units))
+            _compute_on_backend(units, algorithm, params, backend, handle, workers)
 
+        shard_key = handle.key if handle is not None else None
         for unit in units:
             if unit.error is None and cacheable:
-                cache.put(unit.key, unit.result)
+                cache.put(unit.key, unit.result, epoch=epoch)
             for slot in unit.slots:
                 items[slot].result = unit.result
                 items[slot].error = unit.error
                 items[slot].latency_seconds = unit.latency_seconds
+                items[slot].shard = shard_key
 
     return BatchReport(items=items, wall_seconds=time.perf_counter() - begin)
+
+
+def _compute_in_process(
+    engine: KOREngine,
+    units: list[_Unit],
+    algorithm: str,
+    params: dict,
+    backend: ExecutionBackend,
+    workers: int | None,
+) -> None:
+    """Closure path: shared candidate map, live engine, backend.map."""
+    # One index pass for the whole batch: the union of every miss
+    # query's keywords, resolved to candidate node sets exactly once.
+    words = {word for unit in units for word in unit.query.keywords}
+    candidates = engine.candidate_sets(words) if words else {}
+
+    def compute(unit: _Unit) -> None:
+        unit_begin = time.perf_counter()
+        try:
+            binding = engine.bind(unit.query, candidates=candidates)
+            unit.result = engine.run(
+                unit.query, algorithm=algorithm, binding=binding, **params
+            )
+        except Exception as error:  # noqa: BLE001 - reported per slot
+            unit.error = error
+        unit.latency_seconds = time.perf_counter() - unit_begin
+
+    backend.map(compute, units, workers=workers)
+
+
+def _compute_on_backend(
+    units: list[_Unit],
+    algorithm: str,
+    params: dict,
+    backend: ExecutionBackend,
+    handle: EngineHandle | None,
+    workers: int | None,
+) -> None:
+    """Task path: picklable ShardTasks against the engine's handle."""
+    if handle is None:
+        raise QueryError(
+            f"{type(backend).__name__} needs the engine's EngineHandle to "
+            "address work across the process boundary; pass handle="
+        )
+    if "trace" in params:
+        # The worker would fill a pickled *copy* of the caller's trace
+        # sink; refusing beats silently returning an empty trace.
+        raise QueryError(
+            "'trace' cannot cross the process boundary: run traced queries "
+            "on an in-process backend (serial/thread) or engine.run()"
+        )
+    tasks = [
+        ShardTask.build(handle.key, unit.query, algorithm, params) for unit in units
+    ]
+    outcomes = backend.run_tasks(tasks, workers=workers)
+    for unit, outcome in zip(units, outcomes):
+        unit.result = outcome.result
+        unit.error = outcome.error
+        unit.latency_seconds = outcome.latency_seconds

@@ -8,6 +8,23 @@ and algorithm parameters.  Two queries with the same canonical key are
 answered by the same :class:`repro.core.results.KORResult` object; the
 cached result's ``query`` attribute is the query that first computed it.
 
+Two orthogonal bounds govern eviction:
+
+* ``capacity`` — maximum entry count (LRU eviction beyond it);
+* ``max_route_nodes`` — optional budget on the *total route size* held
+  (results store full routes, so a thousand 3-node answers and a dozen
+  thousand-node answers are very different memory stories).  Inserting
+  past the budget evicts LRU entries until the total fits again; a
+  single result bigger than the whole budget is never stored.
+
+The cache also carries an **epoch**.  Keys only describe the query —
+not the graph it was answered on — so a service whose engine is rebuilt
+calls :meth:`ResultCache.invalidate`, which bumps the epoch and drops
+every entry.  Readers and writers capture the epoch when a computation
+*starts* and pass it back to :meth:`get`/:meth:`put`; a write that began
+against the old engine is silently discarded instead of poisoning the
+new epoch with a stale route.
+
 The store is a plain ``OrderedDict`` LRU guarded by a lock so batch
 workers can probe it concurrently.
 """
@@ -71,6 +88,17 @@ def _hashable(value: object) -> bool:
     return True
 
 
+def _route_size(result: KORResult) -> int:
+    """Stored route size of one result (0 when no route was produced).
+
+    Tolerates arbitrary stored values (tests stub results with plain
+    objects): anything without a route costs 0 nodes.
+    """
+    route = getattr(result, "route", None)
+    nodes = getattr(route, "nodes", None)
+    return len(nodes) if nodes is not None else 0
+
+
 @dataclass
 class CacheStats:
     """Counters of one :class:`ResultCache` (monotonically increasing)."""
@@ -79,6 +107,12 @@ class CacheStats:
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    #: Results refused because one route exceeded the whole size budget.
+    oversize_rejections: int = 0
+    #: Writes dropped because the cache epoch moved while they computed.
+    stale_writes: int = 0
+    #: Times :meth:`ResultCache.invalidate` wiped the store.
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -94,16 +128,25 @@ class CacheStats:
 class ResultCache:
     """Thread-safe LRU mapping canonical keys to :class:`KORResult`.
 
-    ``capacity`` bounds the entry count; inserting beyond it evicts the
-    least recently *used* entry (lookups refresh recency).  A capacity of
-    0 disables storage entirely while keeping the stats flowing.
+    ``capacity`` bounds the entry count; ``max_route_nodes`` (optional)
+    bounds the summed ``len(route.nodes)`` of stored results.  Inserting
+    beyond either bound evicts the least recently *used* entries
+    (lookups refresh recency).  A capacity of 0 disables storage
+    entirely while keeping the stats flowing.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, max_route_nodes: int | None = None) -> None:
         if capacity < 0:
             raise QueryError(f"cache capacity must be >= 0, got {capacity}")
+        if max_route_nodes is not None and max_route_nodes < 0:
+            raise QueryError(
+                f"max_route_nodes must be >= 0 or None, got {max_route_nodes}"
+            )
         self._capacity = capacity
+        self._max_route_nodes = max_route_nodes
         self._entries: OrderedDict[Hashable, KORResult] = OrderedDict()
+        self._route_nodes = 0
+        self._epoch = 0
         self._lock = threading.Lock()
         self._stats = CacheStats()
 
@@ -113,13 +156,41 @@ class ResultCache:
         return self._capacity
 
     @property
+    def max_route_nodes(self) -> int | None:
+        """Total stored-route-size budget (None = unbounded)."""
+        return self._max_route_nodes
+
+    @property
+    def total_route_nodes(self) -> int:
+        """Summed route size of every stored result."""
+        with self._lock:
+            return self._route_nodes
+
+    @property
+    def epoch(self) -> int:
+        """Current validity epoch; bumped by :meth:`invalidate`.
+
+        Capture it before starting a computation and pass it back to
+        :meth:`put` so results of a superseded engine are dropped.
+        """
+        with self._lock:
+            return self._epoch
+
+    @property
     def stats(self) -> CacheStats:
         """Live hit/miss/eviction counters."""
         return self._stats
 
-    def get(self, key: Hashable) -> KORResult | None:
-        """The cached result under *key*, refreshing its recency."""
+    def get(self, key: Hashable, epoch: int | None = None) -> KORResult | None:
+        """The cached result under *key*, refreshing its recency.
+
+        ``epoch``, when given, must match the current epoch — a probe
+        carrying a superseded epoch is a guaranteed miss.
+        """
         with self._lock:
+            if epoch is not None and epoch != self._epoch:
+                self._stats.misses += 1
+                return None
             result = self._entries.get(key)
             if result is None:
                 self._stats.misses += 1
@@ -128,23 +199,60 @@ class ResultCache:
             self._stats.hits += 1
             return result
 
-    def put(self, key: Hashable, result: KORResult) -> None:
-        """Store *result* under *key*, evicting the LRU entry if full."""
+    def put(self, key: Hashable, result: KORResult, epoch: int | None = None) -> None:
+        """Store *result* under *key*, evicting LRU entries while full.
+
+        ``epoch``, when given, is the epoch captured before the result
+        was computed; if :meth:`invalidate` ran in between, the write is
+        dropped (the result describes an engine that no longer serves).
+        """
         if self._capacity == 0:
             return
+        size = _route_size(result)
         with self._lock:
-            if key in self._entries:
+            if epoch is not None and epoch != self._epoch:
+                self._stats.stale_writes += 1
+                return
+            if self._max_route_nodes is not None and size > self._max_route_nodes:
+                # Bigger than the whole budget: storing it would evict
+                # everything and still not fit.
+                self._stats.oversize_rejections += 1
+                return
+            previous = self._entries.get(key)
+            if previous is not None:
+                self._route_nodes -= _route_size(previous)
                 self._entries.move_to_end(key)
             self._entries[key] = result
+            self._route_nodes += size
             self._stats.insertions += 1
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
+            while len(self._entries) > self._capacity or (
+                self._max_route_nodes is not None
+                and self._route_nodes > self._max_route_nodes
+            ):
+                _evicted_key, evicted = self._entries.popitem(last=False)
+                self._route_nodes -= _route_size(evicted)
                 self._stats.evictions += 1
 
-    def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
+    def invalidate(self) -> int:
+        """Drop every entry and bump the epoch (returns the new epoch).
+
+        Call this whenever the engine behind the cached results is
+        rebuilt — entries keyed only by query would otherwise keep
+        serving routes of the old graph.  In-flight writes that captured
+        the old epoch are discarded on arrival (see :meth:`put`).
+        """
         with self._lock:
             self._entries.clear()
+            self._route_nodes = 0
+            self._epoch += 1
+            self._stats.invalidations += 1
+            return self._epoch
+
+    def clear(self) -> None:
+        """Drop every entry (counters and epoch are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._route_nodes = 0
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:

@@ -4,13 +4,18 @@ Single queries go through :meth:`QueryService.submit` (cache probe,
 compute on miss, record metrics); query lists go through
 :meth:`QueryService.run_batch` / :meth:`QueryService.execute`, which add
 in-batch dedup, one shared candidate-set pass over the index, and a
-thread-pool fan-out (see :mod:`repro.service.batch`).
+fan-out over a pluggable execution backend (see
+:mod:`repro.service.batch` and :mod:`repro.service.backends`).
 
 The service never mutates its engine: the graph, cost tables and index
 are read-only at serve time, which is what makes the concurrent paths
 safe.  Results handed out for cache hits are the *same objects* the
 first computation produced — treat ``KORResult`` as immutable (its
 ``query`` attribute names the query that first computed the entry).
+
+Swapping the engine (:meth:`QueryService.replace_engine`) invalidates
+the cache — keys describe only the query, so entries computed against
+the old graph must not survive the swap.
 """
 
 from __future__ import annotations
@@ -22,7 +27,12 @@ from repro.core.engine import ALGORITHMS, KOREngine
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
 from repro.exceptions import QueryError
-from repro.service.batch import DEFAULT_WORKERS, BatchReport, execute_batch
+from repro.service.backends import (
+    DEFAULT_WORKERS,
+    EngineHandle,
+    ExecutionBackend,
+)
+from repro.service.batch import BatchReport, execute_batch
 from repro.service.cache import UNCACHEABLE_PARAMS, ResultCache, canonical_cache_key
 from repro.service.stats import ServiceStats, StatsSnapshot
 
@@ -40,7 +50,17 @@ class QueryService:
         LRU result-cache size in entries; 0 disables caching.
     default_workers:
         Fan-out width :meth:`run_batch` uses when the call does not pick
-        one.
+        one (in-process backends only — a process pool's width is fixed
+        at backend construction).
+    backend:
+        Execution strategy for batches.  ``None`` (default) keeps PR 1's
+        behaviour: a transient thread pool per batch.  Passing a
+        :class:`~repro.service.backends.ProcessBackend` moves the
+        compute out of the GIL; the service registers its engine with
+        the backend automatically.
+    max_cached_route_nodes:
+        Optional total-route-size budget for the cache (results store
+        full routes); see :class:`~repro.service.cache.ResultCache`.
     """
 
     def __init__(
@@ -48,13 +68,19 @@ class QueryService:
         engine: KOREngine,
         cache_capacity: int = 1024,
         default_workers: int = DEFAULT_WORKERS,
+        backend: ExecutionBackend | None = None,
+        max_cached_route_nodes: int | None = None,
     ) -> None:
         if default_workers < 1:
             raise QueryError(f"default_workers must be >= 1, got {default_workers}")
         self._engine = engine
-        self._cache = ResultCache(cache_capacity)
+        self._cache = ResultCache(cache_capacity, max_route_nodes=max_cached_route_nodes)
         self._stats = ServiceStats()
         self._default_workers = default_workers
+        self._backend = backend
+        self._handle = EngineHandle(engine)
+        if backend is not None:
+            backend.register(self._handle)
 
     @classmethod
     def from_graph(cls, graph, **kwargs) -> "QueryService":
@@ -70,6 +96,11 @@ class QueryService:
         return self._engine
 
     @property
+    def backend(self) -> ExecutionBackend | None:
+        """The execution backend (None = transient thread pools)."""
+        return self._backend
+
+    @property
     def cache(self) -> ResultCache:
         """The canonicalizing LRU result cache."""
         return self._cache
@@ -82,6 +113,28 @@ class QueryService:
     def snapshot(self) -> StatsSnapshot:
         """Shorthand for ``service.stats.snapshot()``."""
         return self._stats.snapshot()
+
+    # ------------------------------------------------------------------
+    # engine lifecycle
+    # ------------------------------------------------------------------
+    def invalidate_cache(self) -> int:
+        """Drop every cached result and bump the cache epoch."""
+        return self._cache.invalidate()
+
+    def replace_engine(self, engine: KOREngine) -> None:
+        """Serve from *engine* from now on, invalidating the cache.
+
+        The cache's epoch guard also discards results still being
+        computed against the old engine when they try to store
+        themselves (see :class:`~repro.service.cache.ResultCache`).
+        """
+        retired = self._handle
+        self._engine = engine
+        self._handle = EngineHandle(engine)
+        if self._backend is not None:
+            self._backend.unregister(retired.key)
+            self._backend.register(self._handle)
+        self._cache.invalidate()
 
     # ------------------------------------------------------------------
     # single queries
@@ -109,13 +162,16 @@ class QueryService:
 
         Calls carrying uncacheable parameters (``trace`` and friends, see
         :data:`repro.service.cache.UNCACHEABLE_PARAMS`) bypass the cache
-        in both directions but still feed the metrics.
+        in both directions but still feed the metrics.  Single queries
+        always compute in the calling thread — backends only pay off on
+        batches.
         """
         begin = time.perf_counter()
         cacheable = not (UNCACHEABLE_PARAMS & params.keys())
         key = canonical_cache_key(query, algorithm, params) if cacheable else None
+        epoch = self._cache.epoch if cacheable else None
         if cacheable:
-            hit = self._cache.get(key)
+            hit = self._cache.get(key, epoch=epoch)
             if hit is not None:
                 elapsed = time.perf_counter() - begin
                 self._stats.record_query(elapsed, cached=True)
@@ -128,7 +184,7 @@ class QueryService:
             self._stats.record_busy(time.perf_counter() - begin)
             raise
         if cacheable:
-            self._cache.put(key, result)
+            self._cache.put(key, result, epoch=epoch)
         elapsed = time.perf_counter() - begin
         self._stats.record_query(elapsed, cached=False)
         self._stats.record_busy(elapsed)
@@ -148,7 +204,7 @@ class QueryService:
 
         Failed slots carry their exception; successful slots are cached
         and unaffected.  Slot order is the submission order regardless of
-        ``workers``.
+        ``workers`` or backend.
         """
         if algorithm not in ALGORITHMS:
             raise QueryError(
@@ -161,6 +217,8 @@ class QueryService:
             algorithm=algorithm,
             workers=workers if workers is not None else self._default_workers,
             params=params,
+            backend=self._backend,
+            handle=self._handle,
         )
         for item in report.items:
             if item.ok:

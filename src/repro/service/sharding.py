@@ -1,0 +1,565 @@
+"""``ShardedQueryService`` — partition-routed serving over many engines.
+
+The flat :class:`~repro.service.service.QueryService` wraps exactly one
+:class:`~repro.core.engine.KOREngine`, whose dense cost tables are the
+scale ceiling: ``O(n^2)`` floats per matrix.  This module splits the
+graph with :func:`repro.prep.partition.partition_graph` (the paper's
+Section-6 sketch) and builds **one engine per cell** — each with its own
+(small) tables and inverted index over the cell's induced subgraph —
+plus one **global engine** over the full graph that keeps answers exact
+when a query cannot be contained in a cell.
+
+Routing rule
+------------
+A query is *shard-local* when the cell owning its **source node** also
+owns the target **and** every query keyword has at least one candidate
+node inside that cell.  Local queries run on the cell engine: a route
+found there is genuinely feasible (the subgraph is a subgraph), and its
+score is an **upper bound** on the flat optimum — the optimal route may
+weave through other cells, which the cell engine cannot see.  When the
+local search comes back infeasible (or errors), or when endpoints /
+keywords span cells in the first place, the service falls back to
+scatter-gather: the query runs on every candidate engine (here: the
+global engine; the local attempt, if any, already ran) and the feasible
+outcome with the best objective score wins.  Because the fallback chain
+always ends at the global engine — the very engine a flat service would
+have used — feasibility is preserved exactly for the complete algorithms
+(``osscaling``, ``bucketbound``, ``exact``, ``exhaustive``), and the
+greedy heuristics can only become *more* feasible (a local greedy may
+succeed where the flat greedy fails).
+
+With ``num_cells=1`` the single cell *is* the whole graph: the shard
+engine doubles as the global engine and every answer matches the flat
+service bit for bit.
+
+Execution
+---------
+Shard work is described as picklable
+:class:`~repro.service.backends.ShardTask` objects and executed by any
+:class:`~repro.service.backends.ExecutionBackend` — serial, thread pool,
+or a process pool whose workers hold their own copies of the shard
+engines (finally escaping the GIL for CPU-bound batch fan-out).
+Results coming back from a cell engine are translated from cell-local
+node ids to global ids before anything downstream sees them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.engine import ALGORITHMS, KOREngine
+from repro.core.query import KORQuery
+from repro.core.results import KORResult
+from repro.core.route import Route
+from repro.exceptions import QueryError
+from repro.graph.digraph import SpatialKeywordGraph
+from repro.prep.partition import GraphPartition, partition_graph
+from repro.service.backends import (
+    DEFAULT_WORKERS,
+    EngineHandle,
+    ExecutionBackend,
+    ShardTask,
+    TaskOutcome,
+    ThreadBackend,
+)
+from repro.service.batch import (
+    BatchItem,
+    BatchReport,
+    batch_keys,
+    dedup_units,
+)
+from repro.service.cache import ResultCache
+from repro.service.stats import ServiceStats, StatsSnapshot
+
+__all__ = ["Shard", "ShardedQueryService"]
+
+_SERVICE_COUNTER = itertools.count()
+
+#: Routing decisions, as reported by :meth:`ShardedQueryService.plan_of`.
+LOCAL = "local"
+SPAN_ENDPOINTS = "endpoints-span-cells"
+SPAN_KEYWORDS = "keywords-span-cells"
+MISSING_KEYWORDS = "keywords-missing-from-graph"
+INVALID_ENDPOINTS = "invalid-endpoints"
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One cell's worth of serving state.
+
+    ``to_global[local_id] == global_id``; ``to_local`` is the inverse
+    mapping (global ids of this cell only).
+    """
+
+    key: str
+    cell: int
+    engine: KOREngine
+    handle: EngineHandle
+    to_local: dict[int, int]
+    to_global: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count of the cell's induced subgraph."""
+        return len(self.to_global)
+
+
+@dataclass
+class _Plan:
+    """Routing decision for one query."""
+
+    reason: str
+    shard: Shard | None = None  # the local candidate, when reason == LOCAL
+
+
+def default_num_cells(num_nodes: int) -> int:
+    """Default cell count: ``~sqrt(n)/2`` cells of ``~2*sqrt(n)`` nodes.
+
+    Matches :class:`repro.prep.partition.PartitionedCostTables`'s
+    heuristic, clamped to the node count.
+    """
+    return max(1, min(num_nodes, max(2, int(math.sqrt(num_nodes) / 2))))
+
+
+class ShardedQueryService:
+    """Partition-routed, cached, backend-executed serving layer.
+
+    Parameters
+    ----------
+    graph:
+        The full spatial-keyword graph to serve.
+    num_cells:
+        Partition granularity (default :func:`default_num_cells`).
+        ``num_cells=1`` degenerates to the flat service exactly.
+    seed:
+        Partition seed (farthest-point sampling is randomised).
+    backend:
+        Execution backend for shard tasks; default a
+        :class:`~repro.service.backends.ThreadBackend` owned (and closed)
+        by this service.  A caller-supplied backend is shared, not owned.
+    cache_capacity / max_cached_route_nodes:
+        Result-cache bounds, as in the flat service.  Cached entries are
+        already translated to global node ids.
+    """
+
+    def __init__(
+        self,
+        graph: SpatialKeywordGraph,
+        num_cells: int | None = None,
+        seed: int = 0,
+        backend: ExecutionBackend | None = None,
+        cache_capacity: int = 1024,
+        default_workers: int = DEFAULT_WORKERS,
+        max_cached_route_nodes: int | None = None,
+    ) -> None:
+        if default_workers < 1:
+            raise QueryError(f"default_workers must be >= 1, got {default_workers}")
+        self._graph = graph
+        if num_cells is None:
+            num_cells = default_num_cells(graph.num_nodes)
+        self._partition: GraphPartition = partition_graph(graph, num_cells, seed=seed)
+        self._owns_backend = backend is None
+        self._backend = backend if backend is not None else ThreadBackend(default_workers)
+        self._default_workers = default_workers
+        self._cache = ResultCache(cache_capacity, max_route_nodes=max_cached_route_nodes)
+        self._stats = ServiceStats()
+
+        prefix = f"svc{next(_SERVICE_COUNTER)}/"
+        shards: list[Shard] = []
+        for cell, nodes in enumerate(self._partition.cells):
+            subgraph, to_local = graph.induced_subgraph([int(v) for v in nodes])
+            to_global = np.array(sorted(to_local), dtype=np.int64)
+            engine = KOREngine(subgraph)
+            handle = EngineHandle(engine, key=f"{prefix}cell-{cell}")
+            shards.append(
+                Shard(
+                    key=handle.key,
+                    cell=cell,
+                    engine=engine,
+                    handle=handle,
+                    to_local=to_local,
+                    to_global=to_global,
+                )
+            )
+        self._shards = tuple(shards)
+        if num_cells == 1:
+            # The single cell is the whole graph (induced_subgraph keeps
+            # dense ids in order, so the mapping is the identity): reuse
+            # its engine as the global tier instead of building twice.
+            self._global_engine = shards[0].engine
+        else:
+            self._global_engine = KOREngine(graph)
+        self._global_handle = EngineHandle(self._global_engine, key=f"{prefix}global")
+        for shard in self._shards:
+            self._backend.register(shard.handle)
+        self._backend.register(self._global_handle)
+
+    @classmethod
+    def from_engine(cls, engine: KOREngine, **kwargs) -> "ShardedQueryService":
+        """Shard an existing engine's graph (the engine is not reused)."""
+        return cls(engine.graph, **kwargs)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> SpatialKeywordGraph:
+        """The full graph being served."""
+        return self._graph
+
+    @property
+    def partition(self) -> GraphPartition:
+        """The node-to-cell assignment behind the shards."""
+        return self._partition
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        """One :class:`Shard` per cell, in cell order."""
+        return self._shards
+
+    @property
+    def num_shards(self) -> int:
+        """Number of cells the graph was split into."""
+        return len(self._shards)
+
+    @property
+    def global_engine(self) -> KOREngine:
+        """The exactness tier: a flat engine over the full graph."""
+        return self._global_engine
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend shard tasks run on."""
+        return self._backend
+
+    @property
+    def cache(self) -> ResultCache:
+        """The canonicalizing LRU result cache (global-id results)."""
+        return self._cache
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Serving metrics, including per-shard task counters."""
+        return self._stats
+
+    def snapshot(self) -> StatsSnapshot:
+        """Shorthand for ``service.stats.snapshot()``."""
+        return self._stats.snapshot()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def invalidate_cache(self) -> int:
+        """Drop every cached result and bump the cache epoch."""
+        return self._cache.invalidate()
+
+    def close(self) -> None:
+        """Retire this service's engines from the backend (idempotent).
+
+        Every shard handle (and the global one) is unregistered — on a
+        shared backend the engines would otherwise stay pinned, and be
+        re-shipped to every new pool worker, for the backend's lifetime.
+        The backend itself is only closed when this service created it.
+        A closed service must not serve further batches.
+        """
+        for shard in self._shards:
+            self._backend.unregister(shard.key)
+        self._backend.unregister(self._global_handle.key)
+        if self._owns_backend:
+            self._backend.close()
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def plan_of(self, query: KORQuery) -> str:
+        """The routing decision for *query* (``local`` / ``*-span-cells``
+        / ``keywords-missing-from-graph`` / ``invalid-endpoints``),
+        without running anything."""
+        return self._plan(query).reason
+
+    def _plan(self, query: KORQuery) -> _Plan:
+        n = self._graph.num_nodes
+        if not (0 <= query.source < n and 0 <= query.target < n):
+            # Let the global engine produce the canonical QueryError.
+            return _Plan(reason=INVALID_ENDPOINTS)
+        table = self._graph.keyword_table
+        keyword_ids = [table.get(word) for word in query.keywords]
+        if any(kid is None for kid in keyword_ids):
+            # Absent from the whole vocabulary: no engine can cover it.
+            # One global run produces the canonical infeasible answer
+            # cheaply (binding fails before any search), and skipping
+            # the local attempt avoids a pointless escalation.
+            return _Plan(reason=MISSING_KEYWORDS)
+        src_cell = int(self._partition.cell_of[query.source])
+        if int(self._partition.cell_of[query.target]) != src_cell:
+            return _Plan(reason=SPAN_ENDPOINTS)
+        shard = self._shards[src_cell]
+        for kid in keyword_ids:
+            if shard.engine.index.document_frequency(kid) == 0:
+                # Keyword exists in the graph but not in this cell: only
+                # a cross-cell route can cover it.
+                return _Plan(reason=SPAN_KEYWORDS)
+        return _Plan(reason=LOCAL, shard=shard)
+
+    def _localize(self, shard: Shard, query: KORQuery) -> KORQuery:
+        return KORQuery(
+            shard.to_local[query.source],
+            shard.to_local[query.target],
+            query.keywords,
+            query.budget_limit,
+        )
+
+    def _globalize(self, shard: Shard, query: KORQuery, result: KORResult) -> KORResult:
+        """Translate a cell-engine result back to global node ids."""
+        route = result.route
+        if route is not None:
+            route = Route(
+                nodes=tuple(int(shard.to_global[v]) for v in route.nodes),
+                objective_score=route.objective_score,
+                budget_score=route.budget_score,
+            )
+        return KORResult(
+            query=query,
+            algorithm=result.algorithm,
+            route=route,
+            covers_keywords=result.covers_keywords,
+            within_budget=result.within_budget,
+            stats=result.stats,
+            failure_reason=result.failure_reason,
+        )
+
+    # ------------------------------------------------------------------
+    # single queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source: int,
+        target: int,
+        keywords: Iterable[str],
+        budget_limit: float,
+        algorithm: str = "bucketbound",
+        **params,
+    ) -> KORResult:
+        """Answer one KOR query through routing and the cache."""
+        return self.submit(
+            KORQuery(source, target, tuple(keywords), budget_limit),
+            algorithm=algorithm,
+            **params,
+        )
+
+    def submit(
+        self, query: KORQuery, algorithm: str = "bucketbound", **params
+    ) -> KORResult:
+        """Answer a pre-built query (a batch of one, sharing all paths)."""
+        report = self.execute([query], algorithm=algorithm, **params)
+        item = report.items[0]
+        if item.error is not None:
+            raise item.error
+        return item.result
+
+    # ------------------------------------------------------------------
+    # batches
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        queries: Sequence[KORQuery],
+        algorithm: str = "bucketbound",
+        workers: int | None = None,
+        **params,
+    ) -> BatchReport:
+        """Run a batch through routing, the backend and the cache.
+
+        Two waves of backend work: every unique miss runs once on its
+        routed engine (cell or global); local attempts that came back
+        infeasible (or errored) are then escalated to the global engine,
+        and the feasible outcome with the best objective score wins.
+        Slot order is submission order; one failing query marks only its
+        own slot.
+        """
+        if algorithm not in ALGORITHMS:
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; expected one of {', '.join(ALGORITHMS)}"
+            )
+        if "binding" in params or "candidates" in params:
+            raise QueryError(
+                "'binding'/'candidates' cannot be passed to a sharded batch: "
+                "they are per-query state bound to one engine's node ids"
+            )
+        if "trace" in params:
+            # Cell engines search in cell-local node ids and escalations
+            # would interleave a second engine's events into the same
+            # sink — a sharded trace would silently mislead.  (Process
+            # backends additionally cannot ship the sink back at all.)
+            raise QueryError(
+                "'trace' is not supported on a sharded service: trace "
+                "events would carry cell-local node ids; trace via "
+                "engine.run() or a flat QueryService instead"
+            )
+        begin = time.perf_counter()
+        queries = list(queries)
+        items = [BatchItem(index=i, query=query) for i, query in enumerate(queries)]
+        cacheable, keys = batch_keys(queries, algorithm, dict(params))
+        epoch = self._cache.epoch if cacheable else None
+        units = dedup_units(items, keys, self._cache, cacheable, epoch)
+
+        if units:
+            effective = workers if workers is not None else self._default_workers
+            plans = [self._plan(unit.query) for unit in units]
+            wave1: list[ShardTask] = []
+            for unit, plan in zip(units, plans):
+                if plan.shard is not None:
+                    wave1.append(
+                        ShardTask.build(
+                            plan.shard.key,
+                            self._localize(plan.shard, unit.query),
+                            algorithm,
+                            params,
+                        )
+                    )
+                else:
+                    wave1.append(
+                        ShardTask.build(
+                            self._global_handle.key, unit.query, algorithm, params
+                        )
+                    )
+            outcomes = self._backend.run_tasks(wave1, workers=effective)
+            self._record_tasks(wave1, outcomes)
+
+            # Wave 2: escalate local attempts that proved nothing (an
+            # infeasible cell answer says "no route inside this cell",
+            # not "no route"), plus local errors, to the global tier.
+            escalate = [
+                position
+                for position, (plan, outcome) in enumerate(zip(plans, outcomes))
+                if plan.shard is not None
+                and not (outcome.ok and outcome.result.feasible)
+            ]
+            rescue: dict[int, TaskOutcome] = {}
+            if escalate:
+                wave2 = [
+                    ShardTask.build(
+                        self._global_handle.key,
+                        units[position].query,
+                        algorithm,
+                        params,
+                    )
+                    for position in escalate
+                ]
+                wave2_outcomes = self._backend.run_tasks(wave2, workers=effective)
+                self._record_tasks(wave2, wave2_outcomes)
+                rescue = dict(zip(escalate, wave2_outcomes))
+
+            for position, (unit, plan) in enumerate(zip(units, plans)):
+                self._merge(unit, plan, outcomes[position], rescue.get(position))
+
+            for unit in units:
+                if unit.error is None and cacheable:
+                    self._cache.put(unit.key, unit.result, epoch=epoch)
+                for slot in unit.slots:
+                    items[slot].result = unit.result
+                    items[slot].error = unit.error
+                    items[slot].latency_seconds = unit.latency_seconds
+                    items[slot].shard = unit.shard
+
+        report = BatchReport(items=items, wall_seconds=time.perf_counter() - begin)
+        for item in report.items:
+            if item.ok:
+                self._stats.record_query(item.latency_seconds, cached=item.cached)
+            else:
+                self._stats.record_error()
+        self._stats.record_busy(report.wall_seconds)
+        return report
+
+    def run_batch(
+        self,
+        queries: Sequence[KORQuery],
+        algorithm: str = "bucketbound",
+        workers: int | None = None,
+        **params,
+    ) -> list[KORResult]:
+        """Run a batch and return its results in submission order.
+
+        Raises :class:`repro.service.batch.BatchError` (carrying the full
+        report) when any slot failed.
+        """
+        return self.execute(
+            queries, algorithm=algorithm, workers=workers, **params
+        ).results()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _record_tasks(
+        self, tasks: Sequence[ShardTask], outcomes: Sequence[TaskOutcome]
+    ) -> None:
+        for task, outcome in zip(tasks, outcomes):
+            self._stats.record_shard(task.shard, errors=0 if outcome.error is None else 1)
+
+    def _merge(
+        self,
+        unit,
+        plan: _Plan,
+        first: TaskOutcome,
+        rescue: TaskOutcome | None,
+    ) -> None:
+        """Pick the winning outcome of a unit's (1 or 2) attempts.
+
+        Feasible candidates are merged by objective score (ties prefer
+        the local shard — its result was produced from less state); with
+        no feasible candidate the *global* outcome stands, because only
+        the global engine's verdict speaks for the whole graph.
+        """
+        unit.latency_seconds = first.latency_seconds + (
+            rescue.latency_seconds if rescue is not None else 0.0
+        )
+        candidates: list[tuple[str, TaskOutcome, Shard | None]] = []
+        if plan.shard is not None:
+            candidates.append((plan.shard.key, first, plan.shard))
+            if rescue is not None:
+                candidates.append((self._global_handle.key, rescue, None))
+        else:
+            candidates.append((self._global_handle.key, first, None))
+
+        best: tuple[str, KORResult] | None = None
+        for key, outcome, shard in candidates:
+            if not (outcome.ok and outcome.result.feasible):
+                continue
+            result = (
+                self._globalize(shard, unit.query, outcome.result)
+                if shard is not None
+                else outcome.result
+            )
+            if best is None or result.objective_score < best[1].objective_score:
+                best = (key, result)
+        if best is not None:
+            unit.shard, unit.result = best
+            unit.error = None
+            return
+
+        # Nothing feasible: the last candidate is always the one whose
+        # verdict covers the full graph (global when escalation ran).
+        key, outcome, shard = candidates[-1]
+        unit.shard = key
+        if outcome.error is not None:
+            unit.error = outcome.error
+            unit.result = None
+        elif outcome.result is not None:
+            unit.result = (
+                self._globalize(shard, unit.query, outcome.result)
+                if shard is not None
+                else outcome.result
+            )
+        else:  # pragma: no cover - backends always set one of the two
+            unit.error = QueryError("backend returned an empty task outcome")

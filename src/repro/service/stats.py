@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["ServiceStats", "StatsSnapshot", "percentile"]
 
@@ -47,6 +47,10 @@ class StatsSnapshot:
     p95_latency_seconds: float
     mean_latency_seconds: float
     busy_seconds: float
+    #: Shard key -> tasks executed there (empty for unsharded services).
+    shard_tasks: dict = field(default_factory=dict)
+    #: Shard key -> tasks that raised there.
+    shard_errors: dict = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -66,13 +70,19 @@ class StatsSnapshot:
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return (
+        line = (
             f"{self.queries} queries ({self.errors} errors), "
             f"hit rate {100.0 * self.hit_rate:.1f}%, "
             f"p50 {1000.0 * self.p50_latency_seconds:.3f} ms, "
             f"p95 {1000.0 * self.p95_latency_seconds:.3f} ms, "
             f"{self.throughput_qps:.0f} qps"
         )
+        if self.shard_tasks:
+            shards = ", ".join(
+                f"{shard}={count}" for shard, count in sorted(self.shard_tasks.items())
+            )
+            line += f"; shard tasks: {shards}"
+        return line
 
 
 class ServiceStats:
@@ -98,6 +108,8 @@ class ServiceStats:
         self._hits = 0
         self._misses = 0
         self._busy_seconds = 0.0
+        self._shard_tasks: dict[str, int] = {}
+        self._shard_errors: dict[str, int] = {}
 
     def record_query(self, latency_seconds: float, cached: bool) -> None:
         """One answered query (hit or computed)."""
@@ -119,6 +131,18 @@ class ServiceStats:
         with self._lock:
             self._busy_seconds += seconds
 
+    def record_shard(self, shard: str, tasks: int = 1, errors: int = 0) -> None:
+        """Account *tasks* executed (and *errors* raised) on one shard.
+
+        These count backend *tasks*, not client queries: one scatter-
+        gathered query contributes to every shard it touched, and cache
+        hits contribute nowhere.
+        """
+        with self._lock:
+            self._shard_tasks[shard] = self._shard_tasks.get(shard, 0) + tasks
+            if errors:
+                self._shard_errors[shard] = self._shard_errors.get(shard, 0) + errors
+
     def snapshot(self) -> StatsSnapshot:
         """Freeze the current aggregates (percentiles over the window)."""
         with self._lock:
@@ -134,6 +158,8 @@ class ServiceStats:
                     sum(latencies) / len(latencies) if latencies else 0.0
                 ),
                 busy_seconds=self._busy_seconds,
+                shard_tasks=dict(self._shard_tasks),
+                shard_errors=dict(self._shard_errors),
             )
 
     def reset(self) -> None:
@@ -145,3 +171,5 @@ class ServiceStats:
             self._hits = 0
             self._misses = 0
             self._busy_seconds = 0.0
+            self._shard_tasks.clear()
+            self._shard_errors.clear()

@@ -79,3 +79,16 @@ class TestExperimentStructure:
     def test_to_table_mentions_figure(self):
         result = experiments.fig06_runtime_vs_epsilon()
         assert "fig06" in result.to_table()
+
+    def test_sharded_throughput_structure(self):
+        result = experiments.sharded_throughput(workers=2)
+        assert result.figure == "sharded_throughput"
+        assert result.xs == ["figure1", "flickr"]
+        for name in ("SerialBackend", "ThreadBackend", "ProcessBackend"):
+            assert len(result.series[name]) == 2
+            assert all(qps > 0 for qps in result.series[name])
+        assert result.meta["usable_cpus"] >= 1
+        assert result.meta["num_cells"]["flickr"] >= 2
+        for dataset in result.xs:
+            speedups = result.meta["speedup_over_serial"][dataset]
+            assert speedups["SerialBackend"] == pytest.approx(1.0)

@@ -1,0 +1,29 @@
+"""Fixtures for the serving-layer tests.
+
+The CI matrix runs this directory once per execution backend by
+exporting ``REPRO_BACKEND`` (``serial`` / ``thread`` / ``process``);
+tests that take the ``service_backend`` fixture are transparently
+re-pointed at the selected backend.  Unset, the default is ``thread`` —
+the backend the flat service uses out of the box.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service import backend_from_name
+
+
+def configured_backend_name() -> str:
+    """The backend name the environment selected (default ``thread``)."""
+    return os.environ.get("REPRO_BACKEND", "thread")
+
+
+@pytest.fixture
+def service_backend():
+    """A fresh instance of the environment-selected execution backend."""
+    backend = backend_from_name(configured_backend_name(), workers=2)
+    yield backend
+    backend.close()

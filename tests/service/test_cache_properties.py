@@ -1,12 +1,17 @@
-"""Property-based tests of cache-key canonicalization.
+"""Property-based tests of cache-key canonicalization and eviction.
 
-The contract (tests drive :func:`repro.service.canonical_cache_key`):
+The contract (tests drive :func:`repro.service.canonical_cache_key` and
+:class:`repro.service.ResultCache`):
 
 * keyword **order** and **duplicates** never change the key — any
   permutation-with-repetition of the same keyword set canonicalizes
   identically;
 * everything that can change the answer — source, target, budget,
-  algorithm, parameter values — always changes the key (no collisions).
+  algorithm, parameter values — always changes the key (no collisions);
+* size-aware eviction: with a ``max_route_nodes`` budget, the summed
+  stored route size never exceeds the budget after any operation
+  sequence, eviction is LRU, and an entry bigger than the whole budget
+  is refused outright.
 """
 
 from __future__ import annotations
@@ -15,8 +20,10 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.query import KORQuery
+from repro.core.results import KORResult
+from repro.core.route import Route
 from repro.exceptions import QueryError
-from repro.service import canonical_cache_key
+from repro.service import ResultCache, canonical_cache_key
 
 from tests.strategies import KEYWORD_POOL, graph_and_query
 
@@ -123,3 +130,108 @@ class TestNoCollisions:
         except QueryError:
             return
         raise AssertionError("expected QueryError for unhashable parameter")
+
+
+# ----------------------------------------------------------------------
+# size-aware eviction (max_route_nodes budget)
+# ----------------------------------------------------------------------
+
+
+def make_result(route_nodes: int) -> KORResult:
+    """A synthetic result whose stored size is *route_nodes* nodes."""
+    route = (
+        Route(
+            nodes=tuple(range(route_nodes)),
+            objective_score=float(route_nodes),
+            budget_score=float(route_nodes),
+        )
+        if route_nodes > 0
+        else None
+    )
+    return KORResult(
+        query=KORQuery(0, 1, ("pub",), 4.0),
+        algorithm="bucketbound",
+        route=route,
+        covers_keywords=route is not None,
+        within_budget=route is not None,
+        failure_reason=None if route is not None else "synthetic: no route",
+    )
+
+
+#: An op is (key, route_size) for put, or (key, None) for get.
+cache_ops = st.lists(
+    st.tuples(st.integers(0, 7), st.one_of(st.none(), st.integers(0, 9))),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestSizeAwareEviction:
+    @LENIENT
+    @given(st.integers(1, 6), st.integers(0, 12), cache_ops)
+    def test_budget_and_capacity_hold_after_any_op_sequence(
+        self, capacity, budget, ops
+    ):
+        cache = ResultCache(capacity, max_route_nodes=budget)
+        for key, size in ops:
+            if size is None:
+                cache.get(key)
+            else:
+                cache.put(key, make_result(size))
+            assert len(cache) <= capacity
+            assert cache.total_route_nodes <= budget
+
+    @LENIENT
+    @given(cache_ops)
+    def test_unbudgeted_cache_never_size_evicts(self, ops):
+        """max_route_nodes=None keeps PR 1 semantics: count-only LRU."""
+        cache = ResultCache(capacity=64)
+        stored: dict = {}
+        for key, size in ops:
+            if size is None:
+                continue
+            cache.put(key, make_result(size))
+            stored[key] = size
+        assert len(cache) == len(stored)
+        assert cache.total_route_nodes == sum(stored.values())
+        assert cache.stats.evictions == 0
+
+    def test_total_tracks_replacement_of_same_key(self):
+        cache = ResultCache(8, max_route_nodes=100)
+        cache.put("k", make_result(9))
+        assert cache.total_route_nodes == 9
+        cache.put("k", make_result(3))
+        assert cache.total_route_nodes == 3
+        assert len(cache) == 1
+
+    def test_eviction_is_lru_under_size_pressure(self):
+        cache = ResultCache(16, max_route_nodes=10)
+        cache.put("a", make_result(4))
+        cache.put("b", make_result(4))
+        cache.get("a")  # refresh: b is now the LRU entry
+        cache.put("c", make_result(4))  # 12 > 10 -> evict b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.total_route_nodes == 8
+
+    def test_oversize_entry_is_refused_and_counted(self):
+        cache = ResultCache(8, max_route_nodes=5)
+        cache.put("small", make_result(3))
+        before = len(cache)
+        cache.put("huge", make_result(6))
+        assert "huge" not in cache
+        assert len(cache) == before  # nothing was evicted to make room
+        assert cache.stats.oversize_rejections == 1
+
+    def test_routeless_results_cost_nothing(self):
+        cache = ResultCache(8, max_route_nodes=0)
+        cache.put("miss", make_result(0))
+        assert "miss" in cache
+        assert cache.total_route_nodes == 0
+
+    def test_negative_budget_rejected(self):
+        try:
+            ResultCache(8, max_route_nodes=-1)
+        except QueryError:
+            return
+        raise AssertionError("expected QueryError for negative max_route_nodes")
