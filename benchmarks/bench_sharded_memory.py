@@ -1,0 +1,33 @@
+"""Sharded serving — table memory vs cell count.
+
+Expected shape: with the global tier gone, the sharded service's
+resident table bytes at any ``num_cells >= 2`` undercut both the flat
+score tables and the single-cell footprint — the border tier (``k x k``
+plus one full-graph predecessor row per border node) costs far less than
+the ``O(n^2)`` matrices it replaces.  This file doubles as the smoke
+test for that bar; the emitted figure feeds the README's
+memory-vs-cells table.
+"""
+
+from _helpers import emit_figure
+from repro.bench.experiments import sharded_memory
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the figure; enforce the memory-shrinks bar."""
+    result = emit_figure(benchmark, sharded_memory)
+    sharded = dict(zip(result.xs, result.series["sharded service tables (MB)"]))
+    flat_mb = result.series["flat score tables (MB)"][0]
+    multi_cell = {cells: mb for cells, mb in sharded.items() if cells >= 2}
+    assert multi_cell, "expected at least one multi-cell granularity"
+    # Every multi-cell deployment must beat the flat score tables it
+    # replaced, and the coarsest single-cell footprint.
+    assert all(mb < flat_mb for mb in multi_cell.values()), (sharded, flat_mb)
+    if 1 in sharded:
+        assert all(mb < sharded[1] for mb in multi_cell.values()), sharded
+    # The finest granularity tested must stay within the coarsest
+    # multi-cell footprint plus border growth — i.e. memory must not
+    # climb back toward the flat tier as cells are added.
+    finest = max(multi_cell)
+    coarsest = min(multi_cell)
+    assert multi_cell[finest] <= 1.25 * multi_cell[coarsest], sharded

@@ -3,13 +3,16 @@
 
 Walks through the full ShardedQueryService story:
 
-1. partition the city graph into cells and build one engine per cell
-   (plus the global exactness tier);
-2. show the routing rule at work — which queries stay cell-local, which
-   scatter to the global engine, and why;
+1. partition the city graph into cells and build one engine per cell,
+   plus the cross-cell BorderEngine that assembles full-graph answers
+   from the cells' own tables and a border-to-border tier — no flat
+   global engine anywhere;
+2. show the routing rule at work — which queries get a cell-local
+   attempt, which go straight to the cross-cell assembly, and why;
 3. run the same batch on all three execution backends (serial, thread
    pool, process pool) and compare wall clock;
-4. read the per-shard counters off the service stats.
+4. read the per-shard task counters and scatter-merge wins off the
+   service stats.
 
 Run:  PYTHONPATH=src python examples/sharded_demo.py
 """
@@ -20,7 +23,7 @@ from collections import Counter
 from repro.datasets.flickr import FlickrConfig, build_flickr_graph
 from repro.datasets.photos import PhotoStreamConfig
 from repro.datasets.queries import QuerySetConfig, generate_query_set
-from repro.prep.tables import CostTables
+from repro.prep.partition import PartitionedCostTables
 from repro.service import (
     ProcessBackend,
     SerialBackend,
@@ -38,7 +41,7 @@ def build_city():
 
 def build_batch(service, count=30, seed=11):
     """Distinct queries drawn from the city's own vocabulary."""
-    engine = service.global_engine
+    engine = service.border_engine  # full-graph view, partitioned tables
     config = QuerySetConfig(
         num_queries=count, num_keywords=3, budget_limit=5.0, seed=seed
     )
@@ -51,20 +54,24 @@ def main():
 
     service = ShardedQueryService(graph, backend=SerialBackend(), cache_capacity=0)
     sizes = [shard.num_nodes for shard in service.shards]
-    flat_mb = CostTables.from_graph(graph, predecessors=False).os_tau.nbytes * 4 / 1e6
+    flat_mb = PartitionedCostTables.flat_memory_bytes(graph.num_nodes) / 1e6
+    borders = len(service.border_engine.partition.border_nodes)
     print(
         f"partitioned into {service.num_shards} cells of {min(sizes)}-{max(sizes)} "
-        f"nodes + 1 global tier (flat score tables alone: {flat_mb:.1f} MB)\n"
+        f"nodes + a {borders}-node border tier "
+        f"({service.memory_bytes() / 1e6:.1f} MB resident tables; a flat "
+        f"service's score tables alone would be {flat_mb:.1f} MB)\n"
     )
 
     batch = build_batch(service)
     plans = Counter(service.plan_of(query) for query in batch)
     print(f"routing {len(batch)} queries: ", dict(plans))
     print(
-        "  'local' runs on one cell engine (answer is an upper bound, but\n"
-        "  any route it finds is genuinely feasible); everything else — and\n"
-        "  every local miss — scatters to the global engine, so feasibility\n"
-        "  matches the flat service exactly for the complete algorithms.\n"
+        "  'local' races the owning cell's engine against the cross-cell\n"
+        "  BorderEngine in one wave and keeps the better objective score;\n"
+        "  everything else runs on the BorderEngine alone.  Border-table\n"
+        "  assembly is exact, so feasibility always matches a flat engine\n"
+        "  for the complete algorithms.\n"
     )
 
     backends = (
@@ -92,6 +99,11 @@ def main():
     print("per-shard task counters:")
     for shard, tasks in sorted(snapshot.shard_tasks.items()):
         print(f"  {shard:18s} {tasks:4d} tasks")
+    if snapshot.merge_wins:
+        wins = ", ".join(
+            f"{winner}={count}" for winner, count in sorted(snapshot.merge_wins.items())
+        )
+        print(f"scatter-merge wins: {wins}")
     print("\nserving metrics:", snapshot.describe())
 
     best = min(

@@ -202,8 +202,8 @@ class SearchContext:
         # constraint, the label dies on a float compare instead of a numpy
         # reduction — that per-label reduction dominated BucketBound's
         # runtime before this cache existed.
-        bs_via = self.tables.bs_sigma[:, nodes] + self._rare_bs_to_t[None, :]
-        os_via = self.tables.os_tau[:, nodes] + self._rare_os_to_t[None, :]
+        bs_via = self.tables.bs_sigma_cols(nodes) + self._rare_bs_to_t[None, :]
+        os_via = self.tables.os_tau_cols(nodes) + self._rare_os_to_t[None, :]
         self._rare_min_bs = bs_via.min(axis=1).tolist()
         self._rare_min_os = os_via.min(axis=1).tolist()
 

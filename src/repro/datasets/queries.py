@@ -121,8 +121,9 @@ def _detour_screen_passes(
     budget_limit: float,
 ) -> bool:
     """Every keyword has a node whose cheapest detour fits the budget."""
-    to_keyword = tables.bs_sigma[source]
-    from_keyword = tables.bs_sigma[:, target]
+    # Protocol access (row/column views) so partitioned tables work too.
+    to_keyword = tables.bs_sigma_row(source)
+    from_keyword = tables.bs_sigma_col(target)
     for kid in keyword_ids:
         nodes = index.postings(kid)
         if not ((to_keyword[nodes] + from_keyword[nodes]) <= budget_limit).any():
@@ -172,7 +173,7 @@ def _pick_endpoints(
         target = int(rng.integers(n))
         if source == target:
             continue
-        if tables.bs_sigma[source, target] <= ceiling:
+        if tables.bs_sigma_row(source)[target] <= ceiling:
             return source, target
     raise DatasetError(
         f"could not find endpoints with BS(sigma) <= {ceiling:.3g} "

@@ -9,18 +9,28 @@ with an edge crossing cells).  A cross-cell score is then assembled as
                   cell(j) of  in_cell(i -> b1) + border(b1 -> b2) +
                   in_cell(b2 -> j)
 
-This trades accuracy for pre-processing cost: the in-cell legs are
-restricted to each cell's induced subgraph, so a path that leaves a cell
-and re-enters it is missed and the assembled score is an **upper bound**
-on the flat table's value (never an underestimate of the true optimum's
-cost... it can only overestimate).  Border-to-border scores are computed
-on the *full* graph, which keeps the error to the two end legs.  The
-accompanying ablation benchmark quantifies the trade-off — build time and
-memory versus score inflation.
+This assembly is **exact**, not merely an upper bound.  Crossing a cell
+boundary is only possible along an edge whose endpoints are both border
+nodes, so any optimal path from ``i`` decomposes at its *first* border
+node ``b1`` (the prefix can never have left ``cell(i)``) and its *last*
+border node ``b2`` (the suffix can never leave ``cell(j)``), while the
+middle ``b1 -> b2`` leg is measured on the **full** graph.  Minimising
+over every ``(b1, b2)`` combination therefore recovers the flat table's
+value for both path families (``tau`` and ``sigma``), and a path that
+never touches a border node is covered by the in-cell term.  What the
+partitioned tables trade away is not accuracy but *pre-processing
+shape*: ``O(sum n_c^2 + k^2)`` floats instead of ``O(n^2)``, with per-pair
+assembly work at query time.  The accompanying ablation benchmark
+quantifies build time and memory against the flat tables.
 
-:class:`PartitionedCostTables` implements the column/row access protocol
-of :class:`repro.prep.tables.CostTables` (scores only; path
-materialisation needs the flat predecessor matrices).
+:class:`PartitionedCostTables` implements the full access protocol of
+:class:`repro.prep.tables.CostTables` — scalar lookups, row/column
+views, multi-column gathers, and (when built with ``predecessors=True``)
+``tau_path`` / ``sigma_path`` materialisation that stitches the in-cell
+legs (via each cell's predecessor matrices) to the border leg (via one
+stored full-graph predecessor row per border node).  That is what lets
+:class:`repro.service.crosscell.BorderEngine` run every search algorithm
+over a partitioned graph with flat-engine semantics.
 """
 
 from __future__ import annotations
@@ -31,7 +41,7 @@ import numpy as np
 
 from repro.exceptions import PrepError
 from repro.graph.digraph import SpatialKeywordGraph
-from repro.prep.dijkstra import single_source_two_criteria
+from repro.prep.dijkstra import reconstruct_path, single_source_two_criteria
 from repro.prep.tables import CostTables
 
 __all__ = ["GraphPartition", "partition_graph", "PartitionedCostTables"]
@@ -46,7 +56,10 @@ class GraphPartition:
     cell_of:
         ``cell_of[v]`` is the cell id of node ``v``.
     cells:
-        Node arrays per cell.
+        Node arrays per cell (sorted ascending, so ``cells[c][local]`` is
+        the global id of the cell's ``local``-th node — the same dense
+        re-indexing :meth:`repro.graph.digraph.SpatialKeywordGraph.
+        induced_subgraph` applies).
     border_nodes:
         Sorted array of all nodes with an edge crossing cells.
     border_index:
@@ -178,29 +191,111 @@ def _bfs_hops(neighbours: list[set[int]], source: int) -> np.ndarray:
     return hops
 
 
+def _lex_min(primary: np.ndarray, secondary: np.ndarray, axis: int) -> tuple[np.ndarray, np.ndarray]:
+    """Minimise *primary* along *axis*; break ties by smallest *secondary*.
+
+    Unreachable entries (``inf`` primary) yield ``inf`` in both outputs.
+    """
+    best = primary.min(axis=axis)
+    expanded = np.expand_dims(best, axis)
+    tied_secondary = np.where(primary == expanded, secondary, np.inf)
+    best_secondary = tied_secondary.min(axis=axis)
+    return best, np.where(np.isfinite(best), best_secondary, np.inf)
+
+
+def _lex_argmin(primary: np.ndarray, secondary: np.ndarray) -> int:
+    """Index of the lexicographically smallest ``(primary, secondary)`` pair."""
+    best = primary.min()
+    tied = np.where(primary == best, secondary, np.inf)
+    return int(np.argmin(tied))
+
+
+#: Byte budget per assembled-row/column cache side.  Each entry holds two
+#: length-n float64 arrays; without a bound a long-lived engine serving
+#: varied targets would quietly regrow the very ``O(n^2)`` footprint the
+#: partitioned tables exist to eliminate.
+_CACHE_BYTE_BUDGET = 2_000_000
+#: Entry floor so tiny graphs / huge graphs still keep enough locality
+#: for one query's worth of repeated lookups.
+_CACHE_MIN_ENTRIES = 16
+
+
+class _LRUPairCache:
+    """Tiny LRU for ``(node, kind) -> (primary, secondary)`` pairs."""
+
+    def __init__(self, num_nodes: int) -> None:
+        per_entry = 2 * 8 * max(num_nodes, 1)
+        self.capacity = max(_CACHE_MIN_ENTRIES, _CACHE_BYTE_BUDGET // per_entry)
+        self._data: dict = {}
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            # Re-insert to mark recency (dicts preserve insertion order).
+            del self._data[key]
+            self._data[key] = value
+        return value
+
+    def put(self, key, value) -> None:
+        if key not in self._data and len(self._data) >= self.capacity:
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other) -> bool:  # tests compare against {} after pickling
+        if isinstance(other, _LRUPairCache):
+            return self._data == other._data
+        return self._data == other
+
+    def nbytes(self) -> int:
+        """Bytes held by the cached arrays."""
+        return sum(
+            primary.nbytes + secondary.nbytes
+            for primary, secondary in self._data.values()
+        )
+
+
 @dataclass
 class PartitionedCostTables:
     """Cell-local tables plus border-to-border tables (future work, §6).
 
-    Implements the scores-only access protocol of :class:`CostTables`:
-    ``os_tau_col`` / ``bs_tau_col`` / ``os_sigma_col`` / ``bs_sigma_col``
-    and their row twins, plus scalar lookups.  Scores are exact within a
-    cell whenever the optimal path stays inside it, and upper bounds
-    otherwise (see the module docstring).
+    Implements the full access protocol of :class:`CostTables` — scalar
+    lookups, ``*_col`` / ``*_row`` views, ``*_cols`` gathers and (with
+    ``predecessors=True``) path materialisation.  Assembled scores are
+    **exact** (see the module docstring): in-cell whenever the optimal
+    path stays inside one cell, stitched through the best border-node
+    pair otherwise.  Row/column results are cached per node — queries
+    hit the same target repeatedly — in LRU caches bounded to
+    ``_CACHE_BYTE_BUDGET`` bytes each (reported by :meth:`cache_bytes`),
+    so long-lived instances amortise assembly cost without ever
+    regrowing an ``O(n^2)`` resident footprint.
     """
 
     partition: GraphPartition
     #: Per cell: dense in-cell tables indexed by local position.
     cell_tables: tuple[CostTables, ...]
-    #: Global position of each node inside its cell.
+    #: Local position of each node inside its cell.
     local_index: np.ndarray
     #: Border x border score matrices on the full graph.
     border_os_tau: np.ndarray
     border_bs_tau: np.ndarray
     border_os_sigma: np.ndarray
     border_bs_sigma: np.ndarray
+    #: Full-graph predecessor rows, one per border node (optional).
+    border_pred_tau: np.ndarray | None = None
+    border_pred_sigma: np.ndarray | None = None
     #: Cached per-target columns (queries hit the same target repeatedly).
-    _column_cache: dict = field(default_factory=dict, repr=False)
+    _column_cache: _LRUPairCache | None = field(default=None, repr=False)
+    #: Cached per-source rows (greedy expansion walks one node at a time).
+    _row_cache: _LRUPairCache | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self._column_cache is None:
+            self._column_cache = _LRUPairCache(self.num_nodes)
+        if self._row_cache is None:
+            self._row_cache = _LRUPairCache(self.num_nodes)
 
     # ------------------------------------------------------------------
     # construction
@@ -211,26 +306,56 @@ class PartitionedCostTables:
         graph: SpatialKeywordGraph,
         num_cells: int | None = None,
         seed: int = 0,
+        partition: GraphPartition | None = None,
+        cell_tables: tuple[CostTables, ...] | None = None,
+        predecessors: bool = False,
     ) -> "PartitionedCostTables":
         """Partition *graph* and build all component tables.
 
         ``num_cells`` defaults to ``sqrt(n) / 2`` — cells of roughly
         ``2 * sqrt(n)`` nodes, the classic space/accuracy sweet spot.
+        A pre-computed ``partition`` and per-cell ``cell_tables`` (one
+        :class:`CostTables` per cell over its induced subgraph, in cell
+        order) can be supplied to share state with an existing sharded
+        deployment instead of re-pre-processing every cell.
+        ``predecessors=True`` keeps one full-graph predecessor row per
+        border node (and requires path-capable cell tables), enabling
+        ``tau_path`` / ``sigma_path``.
         """
         n = graph.num_nodes
-        if num_cells is None:
-            num_cells = max(2, int(np.sqrt(n) / 2))
-        partition = partition_graph(graph, num_cells, seed=seed)
+        if partition is None:
+            if num_cells is None:
+                num_cells = max(2, int(np.sqrt(n) / 2))
+            partition = partition_graph(graph, num_cells, seed=seed)
 
         local_index = np.zeros(n, dtype=np.int64)
-        subgraphs = []
         for nodes in partition.cells:
             local_index[nodes] = np.arange(len(nodes))
-            subgraph, _mapping = graph.induced_subgraph([int(v) for v in nodes])
-            subgraphs.append(subgraph)
-        cell_tables = tuple(
-            CostTables.from_graph(sub, predecessors=False) for sub in subgraphs
-        )
+
+        if cell_tables is None:
+            built = []
+            for nodes in partition.cells:
+                subgraph, _mapping = graph.induced_subgraph([int(v) for v in nodes])
+                built.append(CostTables.from_graph(subgraph, predecessors=predecessors))
+            cell_tables = tuple(built)
+        else:
+            cell_tables = tuple(cell_tables)
+            if len(cell_tables) != partition.num_cells:
+                raise PrepError(
+                    f"got {len(cell_tables)} cell tables for "
+                    f"{partition.num_cells} cells"
+                )
+            for cell, (nodes, tables) in enumerate(zip(partition.cells, cell_tables)):
+                if tables.num_nodes != len(nodes):
+                    raise PrepError(
+                        f"cell {cell} has {len(nodes)} nodes but its tables "
+                        f"cover {tables.num_nodes}"
+                    )
+                if predecessors and not tables.has_paths:
+                    raise PrepError(
+                        f"cell {cell} tables lack predecessor matrices; "
+                        "path materialisation needs predecessors=True cells"
+                    )
 
         border = partition.border_nodes
         k = len(border)
@@ -238,13 +363,18 @@ class PartitionedCostTables:
         border_bs_tau = np.full((k, k), np.inf)
         border_os_sigma = np.full((k, k), np.inf)
         border_bs_sigma = np.full((k, k), np.inf)
+        border_pred_tau = np.zeros((k, n), dtype=np.int32) if predecessors else None
+        border_pred_sigma = np.zeros((k, n), dtype=np.int32) if predecessors else None
         for row, node in enumerate(border):
-            os_tau, bs_tau, _pred = single_source_two_criteria(graph, int(node), "objective")
-            bs_sigma, os_sigma, _pred = single_source_two_criteria(graph, int(node), "budget")
+            os_tau, bs_tau, pred_tau = single_source_two_criteria(graph, int(node), "objective")
+            bs_sigma, os_sigma, pred_sigma = single_source_two_criteria(graph, int(node), "budget")
             border_os_tau[row] = os_tau[border]
             border_bs_tau[row] = bs_tau[border]
             border_os_sigma[row] = os_sigma[border]
             border_bs_sigma[row] = bs_sigma[border]
+            if predecessors:
+                border_pred_tau[row] = pred_tau
+                border_pred_sigma[row] = pred_sigma
         return cls(
             partition=partition,
             cell_tables=cell_tables,
@@ -253,26 +383,61 @@ class PartitionedCostTables:
             border_bs_tau=border_bs_tau,
             border_os_sigma=border_os_sigma,
             border_bs_sigma=border_bs_sigma,
+            border_pred_tau=border_pred_tau,
+            border_pred_sigma=border_pred_sigma,
         )
+
+    # ------------------------------------------------------------------
+    # pickling (handles ship these to process-pool workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Caches are derived state: shipping them would bloat every
+        # worker pickle with whatever the parent happened to look up.
+        state["_column_cache"] = _LRUPairCache(self.num_nodes)
+        state["_row_cache"] = _LRUPairCache(self.num_nodes)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes the tables were computed for."""
+        return len(self.partition.cell_of)
+
+    @property
+    def has_paths(self) -> bool:
+        """Whether path materialisation is available."""
+        return self.border_pred_tau is not None and all(
+            tables.has_paths for tables in self.cell_tables
+        )
+
+    def reachable(self, i: int, j: int) -> bool:
+        """Whether any path ``i -> j`` exists."""
+        return bool(np.isfinite(self.os_tau(i, j)))
 
     # ------------------------------------------------------------------
     # scalar lookups
     # ------------------------------------------------------------------
     def os_tau(self, i: int, j: int) -> float:
-        """Assembled ``OS(tau_{i,j})`` (exact in-cell, else upper bound)."""
-        return self._score(i, j, "tau")[0]
+        """Assembled ``OS(tau_{i,j})`` (exact; see module docstring)."""
+        return self._pair(i, j, "tau")[0]
 
     def bs_tau(self, i: int, j: int) -> float:
         """``BS`` of the assembled objective-optimal path."""
-        return self._score(i, j, "tau")[1]
+        return self._pair(i, j, "tau")[1]
 
     def os_sigma(self, i: int, j: int) -> float:
         """``OS`` of the assembled budget-optimal path."""
-        return self._score(i, j, "sigma")[0]
+        return self._pair(i, j, "sigma")[1]
 
     def bs_sigma(self, i: int, j: int) -> float:
-        """Assembled ``BS(sigma_{i,j})``."""
-        return self._score(i, j, "sigma")[1]
+        """Assembled ``BS(sigma_{i,j})`` (exact)."""
+        return self._pair(i, j, "sigma")[0]
 
     # ------------------------------------------------------------------
     # column access (protocol shared with CostTables)
@@ -287,29 +452,84 @@ class PartitionedCostTables:
 
     def os_sigma_col(self, t: int) -> np.ndarray:
         """Assembled ``OS`` along sigma for every ``i``."""
-        return self._columns(t, "sigma")[0]
+        return self._columns(t, "sigma")[1]
 
     def bs_sigma_col(self, t: int) -> np.ndarray:
         """Assembled ``BS(sigma_{i,t})`` for every ``i``."""
-        return self._columns(t, "sigma")[1]
+        return self._columns(t, "sigma")[0]
+
+    def os_tau_cols(self, nodes: np.ndarray) -> np.ndarray:
+        """``OS(tau_{i,t})`` for every ``i`` and every ``t`` in *nodes*."""
+        return self._gather_cols(nodes, self.os_tau_col)
+
+    def bs_sigma_cols(self, nodes: np.ndarray) -> np.ndarray:
+        """``BS(sigma_{i,t})`` for every ``i`` and every ``t`` in *nodes*."""
+        return self._gather_cols(nodes, self.bs_sigma_col)
+
+    # ------------------------------------------------------------------
+    # row access (protocol shared with CostTables)
+    # ------------------------------------------------------------------
+    def os_tau_row(self, i: int) -> np.ndarray:
+        """Assembled ``OS(tau_{i,j})`` for every ``j``."""
+        return self._rows(i, "tau")[0]
+
+    def bs_tau_row(self, i: int) -> np.ndarray:
+        """Assembled ``BS`` along tau for every ``j``."""
+        return self._rows(i, "tau")[1]
+
+    def os_sigma_row(self, i: int) -> np.ndarray:
+        """Assembled ``OS`` along sigma for every ``j``."""
+        return self._rows(i, "sigma")[1]
+
+    def bs_sigma_row(self, i: int) -> np.ndarray:
+        """Assembled ``BS(sigma_{i,j})`` for every ``j``."""
+        return self._rows(i, "sigma")[0]
+
+    # ------------------------------------------------------------------
+    # path materialisation (protocol shared with CostTables)
+    # ------------------------------------------------------------------
+    def tau_path(self, i: int, j: int) -> list[int]:
+        """Materialise the objective-optimal path ``i -> j`` (global ids)."""
+        return self._path(int(i), int(j), "tau")
+
+    def sigma_path(self, i: int, j: int) -> list[int]:
+        """Materialise the budget-optimal path ``i -> j`` (global ids)."""
+        return self._path(int(i), int(j), "sigma")
 
     # ------------------------------------------------------------------
     # memory accounting (the ablation's headline number)
     # ------------------------------------------------------------------
-    def memory_bytes(self) -> int:
-        """Bytes held by every score matrix (cells + border)."""
+    def memory_bytes(self, include_paths: bool = False) -> int:
+        """Bytes held by every score matrix (cells + border).
+
+        ``include_paths=True`` additionally counts the predecessor
+        matrices (cell and border) that path materialisation needs.
+        """
         total = 0
+        names = ["os_tau", "bs_tau", "os_sigma", "bs_sigma"]
+        if include_paths:
+            names += ["pred_tau", "pred_sigma"]
         for tables in self.cell_tables:
-            for name in ("os_tau", "bs_tau", "os_sigma", "bs_sigma"):
-                total += getattr(tables, name).nbytes
-        for matrix in (
+            for name in names:
+                matrix = getattr(tables, name)
+                if matrix is not None:
+                    total += matrix.nbytes
+        border = [
             self.border_os_tau,
             self.border_bs_tau,
             self.border_os_sigma,
             self.border_bs_sigma,
-        ):
-            total += matrix.nbytes
+        ]
+        if include_paths:
+            border += [self.border_pred_tau, self.border_pred_sigma]
+        for matrix in border:
+            if matrix is not None:
+                total += matrix.nbytes
         return total
+
+    def cache_bytes(self) -> int:
+        """Bytes currently held by the bounded row/column LRU caches."""
+        return self._column_cache.nbytes() + self._row_cache.nbytes()
 
     @staticmethod
     def flat_memory_bytes(num_nodes: int, dtype_bytes: int = 8) -> int:
@@ -320,15 +540,17 @@ class PartitionedCostTables:
     # internals
     # ------------------------------------------------------------------
     def _in_cell(self, kind: str, cell: int) -> tuple[np.ndarray, np.ndarray]:
+        """(primary, secondary) in-cell matrices for *kind*."""
         tables = self.cell_tables[cell]
         if kind == "tau":
             return tables.os_tau, tables.bs_tau
-        return tables.os_sigma, tables.bs_sigma
+        return tables.bs_sigma, tables.os_sigma
 
     def _border_matrices(self, kind: str) -> tuple[np.ndarray, np.ndarray]:
+        """(primary, secondary) border-to-border matrices for *kind*."""
         if kind == "tau":
             return self.border_os_tau, self.border_bs_tau
-        return self.border_os_sigma, self.border_bs_sigma
+        return self.border_bs_sigma, self.border_os_sigma
 
     def _cell_border_positions(self, cell: int) -> np.ndarray:
         """Rows of ``border_nodes`` belonging to *cell*."""
@@ -336,59 +558,213 @@ class PartitionedCostTables:
         positions = self.partition.border_index[nodes]
         return positions[positions >= 0]
 
-    def _score(self, i: int, j: int, kind: str) -> tuple[float, float]:
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise PrepError(f"node {node} outside 0..{self.num_nodes - 1}")
+
+    def _pair(self, i: int, j: int, kind: str) -> tuple[float, float]:
+        primary, secondary, _combo = self._assemble_pair(int(i), int(j), kind)
+        return primary, secondary
+
+    def _assemble_pair(
+        self, i: int, j: int, kind: str
+    ) -> tuple[float, float, tuple[int, int] | None]:
+        """One assembled ``(primary, secondary, decomposition)`` entry.
+
+        The decomposition is ``None`` when the in-cell path wins (or
+        nothing is reachable) and ``(b1, b2)`` — global border node ids —
+        when the stitched path wins.  Ties prefer the in-cell path, then
+        the lexicographically smaller ``(primary, secondary)`` combo,
+        exactly mirroring the vectorised row/column assembly.
+        """
+        self._check_node(i)
+        self._check_node(j)
         part = self.partition
         ci, cj = int(part.cell_of[i]), int(part.cell_of[j])
         li, lj = int(self.local_index[i]), int(self.local_index[j])
-        primary_best, secondary_best = np.inf, np.inf
+        best_primary, best_secondary = np.inf, np.inf
         if ci == cj:
-            os_m, bs_m = self._in_cell(kind, ci)
-            if kind == "tau":
-                primary_best, secondary_best = float(os_m[li, lj]), float(bs_m[li, lj])
-            else:
-                primary_best, secondary_best = float(bs_m[li, lj]), float(os_m[li, lj])
+            prim_m, sec_m = self._in_cell(kind, ci)
+            best_primary = float(prim_m[li, lj])
+            best_secondary = float(sec_m[li, lj])
+        combo: tuple[int, int] | None = None
 
         exits = self._cell_border_positions(ci)
         entries = self._cell_border_positions(cj)
         if len(exits) and len(entries):
-            os_i, bs_i = self._in_cell(kind, ci)
-            os_j, bs_j = self._in_cell(kind, cj)
-            border_os, border_bs = self._border_matrices(kind)
+            prim_i, sec_i = self._in_cell(kind, ci)
+            prim_j, sec_j = self._in_cell(kind, cj)
+            border_prim, border_sec = self._border_matrices(kind)
             exit_nodes = part.border_nodes[exits]
             entry_nodes = part.border_nodes[entries]
-            # legs: i -> exit (in cell), exit -> entry (border), entry -> j.
-            leg1_os = os_i[li, self.local_index[exit_nodes]]
-            leg1_bs = bs_i[li, self.local_index[exit_nodes]]
-            leg3_os = os_j[self.local_index[entry_nodes], lj]
-            leg3_bs = bs_j[self.local_index[entry_nodes], lj]
-            total_os = (
-                leg1_os[:, None] + border_os[np.ix_(exits, entries)] + leg3_os[None, :]
-            )
-            total_bs = (
-                leg1_bs[:, None] + border_bs[np.ix_(exits, entries)] + leg3_bs[None, :]
-            )
-            primary = total_os if kind == "tau" else total_bs
-            secondary = total_bs if kind == "tau" else total_os
-            if primary.size:
-                flat = int(np.argmin(primary))
-                if primary.flat[flat] < primary_best:
-                    primary_best = float(primary.flat[flat])
-                    secondary_best = float(secondary.flat[flat])
-        if kind == "tau":
-            return primary_best, secondary_best
-        return secondary_best, primary_best
+            # legs: i -> exit (in cell), exit -> entry (border), entry -> j,
+            # associated as leg1 + (border + leg3) to match _columns.
+            leg1_prim = prim_i[li, self.local_index[exit_nodes]]
+            leg1_sec = sec_i[li, self.local_index[exit_nodes]]
+            leg3_prim = prim_j[self.local_index[entry_nodes], lj]
+            leg3_sec = sec_j[self.local_index[entry_nodes], lj]
+            mid_prim_all = border_prim[np.ix_(exits, entries)] + leg3_prim[None, :]
+            mid_sec_all = border_sec[np.ix_(exits, entries)] + leg3_sec[None, :]
+            mid_prim, mid_sec = _lex_min(mid_prim_all, mid_sec_all, axis=1)
+            total_prim = leg1_prim + mid_prim
+            total_sec = leg1_sec + mid_sec
+            pick = _lex_argmin(total_prim, total_sec)
+            cand_prim = float(total_prim[pick])
+            cand_sec = float(total_sec[pick])
+            if (cand_prim, cand_sec) < (best_primary, best_secondary):
+                best_primary, best_secondary = cand_prim, cand_sec
+                entry_pick = _lex_argmin(mid_prim_all[pick], mid_sec_all[pick])
+                combo = (int(exit_nodes[pick]), int(entry_nodes[entry_pick]))
+        return best_primary, best_secondary, combo
 
     def _columns(self, t: int, kind: str) -> tuple[np.ndarray, np.ndarray]:
+        """Assembled ``(primary, secondary)`` columns for target *t*."""
         key = (t, kind)
         cached = self._column_cache.get(key)
         if cached is not None:
             return cached
-        n = len(self.partition.cell_of)
-        os_col = np.full(n, np.inf)
-        bs_col = np.full(n, np.inf)
-        for i in range(n):
-            os_value, bs_value = self._score(i, t, kind)
-            os_col[i] = os_value
-            bs_col[i] = bs_value
-        self._column_cache[key] = (os_col, bs_col)
-        return os_col, bs_col
+        self._check_node(t)
+        part = self.partition
+        n = self.num_nodes
+        ct = int(part.cell_of[t])
+        lt = int(self.local_index[t])
+        prim_col = np.full(n, np.inf)
+        sec_col = np.full(n, np.inf)
+
+        entries = self._cell_border_positions(ct)
+        have_mid = len(entries) > 0
+        if have_mid:
+            prim_t, sec_t = self._in_cell(kind, ct)
+            entry_nodes = part.border_nodes[entries]
+            leg3_prim = prim_t[self.local_index[entry_nodes], lt]
+            leg3_sec = sec_t[self.local_index[entry_nodes], lt]
+            border_prim, border_sec = self._border_matrices(kind)
+            # mid[b1] = best (border(b1 -> b2) + in-cell(b2 -> t)) over
+            # all entries b2 of cell(t): one (k,)-vector for the column.
+            mid_prim, mid_sec = _lex_min(
+                border_prim[:, entries] + leg3_prim[None, :],
+                border_sec[:, entries] + leg3_sec[None, :],
+                axis=1,
+            )
+
+        for cell in range(part.num_cells):
+            nodes = part.cells[cell]
+            prim_m, sec_m = self._in_cell(kind, cell)
+            if cell == ct:
+                best_prim = prim_m[:, lt].copy()
+                best_sec = sec_m[:, lt].copy()
+            else:
+                best_prim = np.full(len(nodes), np.inf)
+                best_sec = np.full(len(nodes), np.inf)
+            exits = self._cell_border_positions(cell)
+            if have_mid and len(exits):
+                exit_locals = self.local_index[part.border_nodes[exits]]
+                cand_prim, cand_sec = _lex_min(
+                    prim_m[:, exit_locals] + mid_prim[exits][None, :],
+                    sec_m[:, exit_locals] + mid_sec[exits][None, :],
+                    axis=1,
+                )
+                better = (cand_prim < best_prim) | (
+                    (cand_prim == best_prim) & (cand_sec < best_sec)
+                )
+                best_prim = np.where(better, cand_prim, best_prim)
+                best_sec = np.where(better, cand_sec, best_sec)
+            prim_col[nodes] = best_prim
+            sec_col[nodes] = best_sec
+
+        self._column_cache.put(key, (prim_col, sec_col))
+        return prim_col, sec_col
+
+    def _rows(self, i: int, kind: str) -> tuple[np.ndarray, np.ndarray]:
+        """Assembled ``(primary, secondary)`` rows for source *i*."""
+        key = (i, kind)
+        cached = self._row_cache.get(key)
+        if cached is not None:
+            return cached
+        self._check_node(i)
+        part = self.partition
+        n = self.num_nodes
+        ci = int(part.cell_of[i])
+        li = int(self.local_index[i])
+        prim_row = np.full(n, np.inf)
+        sec_row = np.full(n, np.inf)
+
+        exits = self._cell_border_positions(ci)
+        have_mid = len(exits) > 0
+        if have_mid:
+            prim_i, sec_i = self._in_cell(kind, ci)
+            exit_locals = self.local_index[part.border_nodes[exits]]
+            leg1_prim = prim_i[li, exit_locals]
+            leg1_sec = sec_i[li, exit_locals]
+            border_prim, border_sec = self._border_matrices(kind)
+            # mid[b2] = best (in-cell(i -> b1) + border(b1 -> b2)) over
+            # all exits b1 of cell(i): one (k,)-vector for the row.
+            mid_prim, mid_sec = _lex_min(
+                leg1_prim[:, None] + border_prim[exits, :],
+                leg1_sec[:, None] + border_sec[exits, :],
+                axis=0,
+            )
+
+        for cell in range(part.num_cells):
+            nodes = part.cells[cell]
+            prim_m, sec_m = self._in_cell(kind, cell)
+            if cell == ci:
+                best_prim = prim_m[li, :].copy()
+                best_sec = sec_m[li, :].copy()
+            else:
+                best_prim = np.full(len(nodes), np.inf)
+                best_sec = np.full(len(nodes), np.inf)
+            entries = self._cell_border_positions(cell)
+            if have_mid and len(entries):
+                entry_locals = self.local_index[part.border_nodes[entries]]
+                cand_prim, cand_sec = _lex_min(
+                    mid_prim[entries][:, None] + prim_m[entry_locals, :],
+                    mid_sec[entries][:, None] + sec_m[entry_locals, :],
+                    axis=0,
+                )
+                better = (cand_prim < best_prim) | (
+                    (cand_prim == best_prim) & (cand_sec < best_sec)
+                )
+                best_prim = np.where(better, cand_prim, best_prim)
+                best_sec = np.where(better, cand_sec, best_sec)
+            prim_row[nodes] = best_prim
+            sec_row[nodes] = best_sec
+
+        self._row_cache.put(key, (prim_row, sec_row))
+        return prim_row, sec_row
+
+    def _gather_cols(self, nodes: np.ndarray, column) -> np.ndarray:
+        targets = [int(t) for t in np.asarray(nodes).ravel()]
+        if not targets:
+            return np.empty((self.num_nodes, 0))
+        return np.stack([column(t) for t in targets], axis=1)
+
+    def _cell_path(self, cell: int, u: int, v: int, kind: str) -> list[int]:
+        """In-cell optimal path ``u -> v`` translated to global ids."""
+        tables = self.cell_tables[cell]
+        lu, lv = int(self.local_index[u]), int(self.local_index[v])
+        local = tables.tau_path(lu, lv) if kind == "tau" else tables.sigma_path(lu, lv)
+        to_global = self.partition.cells[cell]
+        return [int(to_global[node]) for node in local]
+
+    def _path(self, i: int, j: int, kind: str) -> list[int]:
+        if not self.has_paths:
+            raise PrepError(
+                "tables were built with predecessors=False; "
+                "path materialisation is unavailable"
+            )
+        primary, _secondary, combo = self._assemble_pair(i, j, kind)
+        if not np.isfinite(primary):
+            raise PrepError(f"node {j} is unreachable from {i}")
+        part = self.partition
+        if combo is None:
+            return self._cell_path(int(part.cell_of[i]), i, j, kind)
+        b1, b2 = combo
+        pred = self.border_pred_tau if kind == "tau" else self.border_pred_sigma
+        try:
+            middle = reconstruct_path(pred[int(part.border_index[b1])], b1, b2)
+        except ValueError as exc:  # pragma: no cover - scores imply reachability
+            raise PrepError(str(exc)) from exc
+        first = self._cell_path(int(part.cell_of[i]), i, b1, kind)
+        last = self._cell_path(int(part.cell_of[j]), b2, j, kind)
+        return first[:-1] + middle + last[1:]

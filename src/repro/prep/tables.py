@@ -135,6 +135,18 @@ class CostTables:
         """``BS(sigma_{i,t})`` for all ``i``."""
         return self.bs_sigma[:, t]
 
+    def os_tau_cols(self, nodes: np.ndarray) -> np.ndarray:
+        """``OS(tau_{i,t})`` for all ``i`` and every ``t`` in *nodes*.
+
+        The multi-column gather behind Strategy 2's detour screens; the
+        partitioned tables assemble the same shape column by column.
+        """
+        return self.os_tau[:, nodes]
+
+    def bs_sigma_cols(self, nodes: np.ndarray) -> np.ndarray:
+        """``BS(sigma_{i,t})`` for all ``i`` and every ``t`` in *nodes*."""
+        return self.bs_sigma[:, nodes]
+
     def os_tau_row(self, i: int) -> np.ndarray:
         """``OS(tau_{i,j})`` for all ``j``."""
         return self.os_tau[i, :]

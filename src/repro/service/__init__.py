@@ -31,10 +31,13 @@ amortise most of that work.  This package adds one:
     The partition-routed tier (:mod:`repro.service.sharding`): the graph
     is split into cells (:func:`repro.prep.partition.partition_graph`),
     each cell gets its own engine (tables + index over the induced
-    subgraph), queries route to the cell owning their source node, and
-    anything spanning cells falls back to scatter-gather that ends at a
-    global exactness engine.  Cell answers are upper bounds merged by
-    objective score; see the module docstring for the full contract.
+    subgraph), and cross-cell answers are assembled *exactly* by a
+    :class:`~repro.service.crosscell.BorderEngine` over the cells' own
+    tables plus a border-to-border tier — no flat global engine, so
+    table memory shrinks as the cell count grows.  Cell-local queries
+    run their cell attempt and the cross-cell assembly in one
+    concurrent wave, merged by objective score; see the module
+    docstrings for the full contract.
 
 ``ExecutionBackend``
     Where compute actually runs (:mod:`repro.service.backends`):
@@ -60,8 +63,9 @@ Guarantees (backed by ``tests/service/``):
 * **Differential** — flat batch results are semantically identical to a
   sequential ``engine.run`` loop for every algorithm in ``ALGORITHMS``;
   sharded results are feasibility-equivalent to the flat engine for the
-  complete algorithms and never score better than the exact optimum,
-  and ``num_cells=1`` reproduces the flat engine exactly.
+  complete algorithms (border assembly is exact) and never score better
+  than the exact optimum, and ``num_cells=1`` reproduces the flat
+  engine exactly.
 * **Backend-deterministic** — the same batch yields byte-identical
   result lists on serial, thread and process backends, any worker count.
 * **Isolated failures** — a query that raises marks only its own slot;
@@ -84,6 +88,7 @@ from repro.service.backends import (
 )
 from repro.service.batch import BatchError, BatchItem, BatchReport
 from repro.service.cache import CacheStats, ResultCache, canonical_cache_key
+from repro.service.crosscell import BorderEngine
 from repro.service.service import QueryService
 from repro.service.sharding import Shard, ShardedQueryService
 from repro.service.stats import ServiceStats, StatsSnapshot
@@ -92,6 +97,7 @@ __all__ = [
     "BatchError",
     "BatchItem",
     "BatchReport",
+    "BorderEngine",
     "CacheStats",
     "EngineHandle",
     "ExecutionBackend",

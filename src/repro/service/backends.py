@@ -32,7 +32,7 @@ import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.engine import KOREngine
 from repro.core.query import KORQuery
@@ -64,19 +64,23 @@ class EngineHandle:
     In the owning process the handle wraps a live engine.  Pickling ships
     the graph plus the *pre-built* cost tables and inverted index (plain
     dataclasses over numpy arrays), so a receiving worker process pays
-    zero pre-processing: :meth:`engine` reassembles a
-    :class:`~repro.core.engine.KOREngine` from the parts on first use and
-    caches it for the life of the worker.
+    zero pre-processing: :meth:`engine` reassembles the engine from the
+    parts on first use and caches it for the life of the worker.  The
+    engine's *class* travels with the state, so a
+    :class:`~repro.service.crosscell.BorderEngine` handle re-materialises
+    as a ``BorderEngine`` (partitioned border tables and all), not as a
+    flat :class:`~repro.core.engine.KOREngine`.
 
     ``key`` identifies the handle across process boundaries; two handles
     never share a key unless one was pickled from the other.
     """
 
-    __slots__ = ("key", "_graph", "_tables", "_index", "_engine")
+    __slots__ = ("key", "_graph", "_tables", "_index", "_engine", "_engine_cls")
 
     def __init__(self, engine: KOREngine, key: str | None = None) -> None:
         self.key = key if key is not None else f"engine-{next(_HANDLE_COUNTER)}"
         self._engine: KOREngine | None = engine
+        self._engine_cls = type(engine)
         self._graph = engine.graph
         self._tables = engine.tables
         self._index = engine.index
@@ -84,7 +88,9 @@ class EngineHandle:
     def engine(self) -> KOREngine:
         """The live engine (materialised from parts after unpickling)."""
         if self._engine is None:
-            self._engine = KOREngine(self._graph, tables=self._tables, index=self._index)
+            self._engine = self._engine_cls(
+                self._graph, tables=self._tables, index=self._index
+            )
         return self._engine
 
     def __getstate__(self) -> dict:
@@ -93,6 +99,7 @@ class EngineHandle:
             "graph": self._graph,
             "tables": self._tables,
             "index": self._index,
+            "engine_cls": self._engine_cls,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -100,6 +107,7 @@ class EngineHandle:
         self._graph = state["graph"]
         self._tables = state["tables"]
         self._index = state["index"]
+        self._engine_cls = state.get("engine_cls", KOREngine)
         self._engine = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -61,6 +61,10 @@ class BatchItem:
     #: Key of the engine handle the computation was addressed to (the
     #: winning shard on a sharded service); None for cache hits.
     shard: str | None = None
+    #: Routing decision of a sharded service (``local`` /
+    #: ``endpoints-span-cells`` / ...); None on the flat service and for
+    #: cache hits, which never reach the router.
+    plan: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -125,6 +129,7 @@ class _Unit:
     error: Exception | None = None
     latency_seconds: float = 0.0
     shard: str | None = None
+    plan: str | None = None
 
 
 def dedup_units(

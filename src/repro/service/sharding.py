@@ -6,31 +6,35 @@ scale ceiling: ``O(n^2)`` floats per matrix.  This module splits the
 graph with :func:`repro.prep.partition.partition_graph` (the paper's
 Section-6 sketch) and builds **one engine per cell** — each with its own
 (small) tables and inverted index over the cell's induced subgraph —
-plus one **global engine** over the full graph that keeps answers exact
-when a query cannot be contained in a cell.
+plus one :class:`~repro.service.crosscell.BorderEngine` that answers
+queries over the *full* graph from the very same per-cell tables plus a
+``k x k`` border tier.  There is **no flat global engine**: per-service
+table memory genuinely shrinks as ``num_cells`` grows, because nothing
+holds an ``O(n^2)`` matrix any more.
 
 Routing rule
 ------------
-A query is *shard-local* when the cell owning its **source node** also
+A query is *cell-local* when the cell owning its **source node** also
 owns the target **and** every query keyword has at least one candidate
-node inside that cell.  Local queries run on the cell engine: a route
-found there is genuinely feasible (the subgraph is a subgraph), and its
-score is an **upper bound** on the flat optimum — the optimal route may
-weave through other cells, which the cell engine cannot see.  When the
-local search comes back infeasible (or errors), or when endpoints /
-keywords span cells in the first place, the service falls back to
-scatter-gather: the query runs on every candidate engine (here: the
-global engine; the local attempt, if any, already ran) and the feasible
-outcome with the best objective score wins.  Because the fallback chain
-always ends at the global engine — the very engine a flat service would
-have used — feasibility is preserved exactly for the complete algorithms
-(``osscaling``, ``bucketbound``, ``exact``, ``exhaustive``), and the
-greedy heuristics can only become *more* feasible (a local greedy may
-succeed where the flat greedy fails).
+node inside that cell.  For such queries the service runs **one wave of
+two concurrent attempts**: the owning cell's engine (cheap, sees only
+the induced subgraph) and the cross-cell :class:`BorderEngine` (sees the
+whole graph through assembled border tables).  Feasible outcomes merge
+by objective score, ties preferring the cell engine; a cell route is
+always genuinely feasible (the subgraph is a subgraph), and the border
+assembly is *exact* (see :mod:`repro.service.crosscell`), so the merged
+answer carries the same feasibility/objective semantics as a flat
+engine.  Queries whose endpoints or keywords span cells — or whose
+keywords are missing from the vocabulary entirely — skip the cell
+attempt and run on the :class:`BorderEngine` alone.  Compared to the
+previous local-then-global *sequential* escalation this one-wave scatter
+removes a full round trip from border-heavy traffic: the cross-cell
+answer is already computing while the local attempt runs.
 
 With ``num_cells=1`` the single cell *is* the whole graph: the shard
-engine doubles as the global engine and every answer matches the flat
-service bit for bit.
+engine answers everything by itself (the cross-cell twin would be a
+duplicate and is skipped) and every answer matches the flat service bit
+for bit.
 
 Execution
 ---------
@@ -38,7 +42,10 @@ Shard work is described as picklable
 :class:`~repro.service.backends.ShardTask` objects and executed by any
 :class:`~repro.service.backends.ExecutionBackend` — serial, thread pool,
 or a process pool whose workers hold their own copies of the shard
-engines (finally escaping the GIL for CPU-bound batch fan-out).
+engines (finally escaping the GIL for CPU-bound batch fan-out).  The
+cross-cell engine ships to workers the same way: its
+:class:`~repro.service.backends.EngineHandle` pickles the partitioned
+border tables and re-materialises a ``BorderEngine`` worker-side.
 Results coming back from a cell engine are translated from cell-local
 node ids to global ids before anything downstream sees them.
 """
@@ -59,6 +66,7 @@ from repro.core.results import KORResult
 from repro.core.route import Route
 from repro.exceptions import QueryError
 from repro.graph.digraph import SpatialKeywordGraph
+from repro.index.inverted import InvertedIndex
 from repro.prep.partition import GraphPartition, partition_graph
 from repro.service.backends import (
     DEFAULT_WORKERS,
@@ -75,6 +83,7 @@ from repro.service.batch import (
     dedup_units,
 )
 from repro.service.cache import ResultCache
+from repro.service.crosscell import BorderEngine
 from repro.service.stats import ServiceStats, StatsSnapshot
 
 __all__ = ["Shard", "ShardedQueryService"]
@@ -87,6 +96,17 @@ SPAN_ENDPOINTS = "endpoints-span-cells"
 SPAN_KEYWORDS = "keywords-span-cells"
 MISSING_KEYWORDS = "keywords-missing-from-graph"
 INVALID_ENDPOINTS = "invalid-endpoints"
+
+#: Table arrays counted by :meth:`ShardedQueryService.memory_bytes`.
+_TABLE_ARRAYS = ("os_tau", "bs_tau", "os_sigma", "bs_sigma", "pred_tau", "pred_sigma")
+_BORDER_ARRAYS = (
+    "border_os_tau",
+    "border_bs_tau",
+    "border_os_sigma",
+    "border_bs_sigma",
+    "border_pred_tau",
+    "border_pred_sigma",
+)
 
 
 @dataclass(frozen=True)
@@ -188,17 +208,25 @@ class ShardedQueryService:
                 )
             )
         self._shards = tuple(shards)
-        if num_cells == 1:
-            # The single cell is the whole graph (induced_subgraph keeps
-            # dense ids in order, so the mapping is the identity): reuse
-            # its engine as the global tier instead of building twice.
-            self._global_engine = shards[0].engine
-        else:
-            self._global_engine = KOREngine(graph)
-        self._global_handle = EngineHandle(self._global_engine, key=f"{prefix}global")
+        # The cross-cell tier *shares* the cell tables the shard engines
+        # just built — the only additional state is the border tier (and,
+        # with one cell, not even that: the single cell is the graph and
+        # the border inventory is empty).  The full-graph inverted index
+        # is cheap (O(postings)); with one cell the shard's index already
+        # covers the whole graph, so it is reused outright.
+        index: InvertedIndex | None = shards[0].engine.index if num_cells == 1 else None
+        self._border_engine = BorderEngine.from_partition(
+            graph,
+            self._partition,
+            tuple(shard.engine.tables for shard in self._shards),
+            index=index,
+        )
+        self._crosscell_handle = EngineHandle(
+            self._border_engine, key=f"{prefix}crosscell"
+        )
         for shard in self._shards:
             self._backend.register(shard.handle)
-        self._backend.register(self._global_handle)
+        self._backend.register(self._crosscell_handle)
 
     @classmethod
     def from_engine(cls, engine: KOREngine, **kwargs) -> "ShardedQueryService":
@@ -229,9 +257,9 @@ class ShardedQueryService:
         return len(self._shards)
 
     @property
-    def global_engine(self) -> KOREngine:
-        """The exactness tier: a flat engine over the full graph."""
-        return self._global_engine
+    def border_engine(self) -> BorderEngine:
+        """The cross-cell tier: full-graph answers over border tables."""
+        return self._border_engine
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -252,6 +280,38 @@ class ShardedQueryService:
         """Shorthand for ``service.stats.snapshot()``."""
         return self._stats.snapshot()
 
+    def memory_bytes(self) -> int:
+        """Bytes of cost-table state resident in this service.
+
+        Counts every score and predecessor matrix across the cell
+        engines and the cross-cell tier exactly once (the border engine
+        shares the cell tables, so shared arrays are deduplicated by
+        identity).  This is the number the memory-scaling test pins:
+        without a flat global engine it must not grow with ``num_cells``.
+        """
+        seen: set[int] = set()
+        total = 0
+
+        def add(array) -> None:
+            nonlocal total
+            if array is not None and id(array) not in seen:
+                seen.add(id(array))
+                total += array.nbytes
+
+        for shard in self._shards:
+            for name in _TABLE_ARRAYS:
+                add(getattr(shard.engine.tables, name))
+        assembled = self._border_engine.tables
+        for tables in assembled.cell_tables:
+            for name in _TABLE_ARRAYS:
+                add(getattr(tables, name))
+        for name in _BORDER_ARRAYS:
+            add(getattr(assembled, name))
+        # The assembled tables' bounded row/column LRU caches are derived
+        # state but resident nonetheless; count them so nothing hides.
+        total += assembled.cache_bytes()
+        return total
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -262,15 +322,15 @@ class ShardedQueryService:
     def close(self) -> None:
         """Retire this service's engines from the backend (idempotent).
 
-        Every shard handle (and the global one) is unregistered — on a
-        shared backend the engines would otherwise stay pinned, and be
+        Every shard handle (and the cross-cell one) is unregistered — on
+        a shared backend the engines would otherwise stay pinned, and be
         re-shipped to every new pool worker, for the backend's lifetime.
         The backend itself is only closed when this service created it.
         A closed service must not serve further batches.
         """
         for shard in self._shards:
             self._backend.unregister(shard.key)
-        self._backend.unregister(self._global_handle.key)
+        self._backend.unregister(self._crosscell_handle.key)
         if self._owns_backend:
             self._backend.close()
 
@@ -292,15 +352,15 @@ class ShardedQueryService:
     def _plan(self, query: KORQuery) -> _Plan:
         n = self._graph.num_nodes
         if not (0 <= query.source < n and 0 <= query.target < n):
-            # Let the global engine produce the canonical QueryError.
+            # Let the cross-cell engine produce the canonical QueryError.
             return _Plan(reason=INVALID_ENDPOINTS)
         table = self._graph.keyword_table
         keyword_ids = [table.get(word) for word in query.keywords]
         if any(kid is None for kid in keyword_ids):
             # Absent from the whole vocabulary: no engine can cover it.
-            # One global run produces the canonical infeasible answer
+            # One cross-cell run produces the canonical infeasible answer
             # cheaply (binding fails before any search), and skipping
-            # the local attempt avoids a pointless escalation.
+            # the local attempt avoids a pointless twin task.
             return _Plan(reason=MISSING_KEYWORDS)
         src_cell = int(self._partition.cell_of[query.source])
         if int(self._partition.cell_of[query.target]) != src_cell:
@@ -381,12 +441,11 @@ class ShardedQueryService:
     ) -> BatchReport:
         """Run a batch through routing, the backend and the cache.
 
-        Two waves of backend work: every unique miss runs once on its
-        routed engine (cell or global); local attempts that came back
-        infeasible (or errored) are then escalated to the global engine,
-        and the feasible outcome with the best objective score wins.
-        Slot order is submission order; one failing query marks only its
-        own slot.
+        **One wave** of backend work: every unique miss submits its
+        cell-local attempt (when the routing plan has one) *and* its
+        cross-cell attempt concurrently; feasible outcomes merge by
+        objective score, ties preferring the cell engine.  Slot order is
+        submission order; one failing query marks only its own slot.
         """
         if algorithm not in ALGORITHMS:
             raise QueryError(
@@ -398,10 +457,11 @@ class ShardedQueryService:
                 "they are per-query state bound to one engine's node ids"
             )
         if "trace" in params:
-            # Cell engines search in cell-local node ids and escalations
-            # would interleave a second engine's events into the same
-            # sink — a sharded trace would silently mislead.  (Process
-            # backends additionally cannot ship the sink back at all.)
+            # Cell engines search in cell-local node ids and the
+            # concurrent cross-cell twin would interleave a second
+            # engine's events into the same sink — a sharded trace would
+            # silently mislead.  (Process backends additionally cannot
+            # ship the sink back at all.)
             raise QueryError(
                 "'trace' is not supported on a sharded service: trace "
                 "events would carry cell-local node ids; trace via "
@@ -417,10 +477,12 @@ class ShardedQueryService:
         if units:
             effective = workers if workers is not None else self._default_workers
             plans = [self._plan(unit.query) for unit in units]
-            wave1: list[ShardTask] = []
-            for unit, plan in zip(units, plans):
+            wave: list[ShardTask] = []
+            owners: list[tuple[int, bool]] = []  # (unit position, is cell attempt)
+            for position, (unit, plan) in enumerate(zip(units, plans)):
+                unit.plan = plan.reason
                 if plan.shard is not None:
-                    wave1.append(
+                    wave.append(
                         ShardTask.build(
                             plan.shard.key,
                             self._localize(plan.shard, unit.query),
@@ -428,41 +490,32 @@ class ShardedQueryService:
                             params,
                         )
                     )
-                else:
-                    wave1.append(
-                        ShardTask.build(
-                            self._global_handle.key, unit.query, algorithm, params
-                        )
-                    )
-            outcomes = self._backend.run_tasks(wave1, workers=effective)
-            self._record_tasks(wave1, outcomes)
-
-            # Wave 2: escalate local attempts that proved nothing (an
-            # infeasible cell answer says "no route inside this cell",
-            # not "no route"), plus local errors, to the global tier.
-            escalate = [
-                position
-                for position, (plan, outcome) in enumerate(zip(plans, outcomes))
-                if plan.shard is not None
-                and not (outcome.ok and outcome.result.feasible)
-            ]
-            rescue: dict[int, TaskOutcome] = {}
-            if escalate:
-                wave2 = [
+                    owners.append((position, True))
+                    if self.num_shards == 1:
+                        # The single cell is the whole graph — the
+                        # cross-cell twin would recompute the same answer.
+                        continue
+                wave.append(
                     ShardTask.build(
-                        self._global_handle.key,
-                        units[position].query,
-                        algorithm,
-                        params,
+                        self._crosscell_handle.key, unit.query, algorithm, params
                     )
-                    for position in escalate
-                ]
-                wave2_outcomes = self._backend.run_tasks(wave2, workers=effective)
-                self._record_tasks(wave2, wave2_outcomes)
-                rescue = dict(zip(escalate, wave2_outcomes))
+                )
+                owners.append((position, False))
+            outcomes = self._backend.run_tasks(wave, workers=effective)
+            self._record_tasks(wave, outcomes)
+
+            cell_outcomes: dict[int, TaskOutcome] = {}
+            cross_outcomes: dict[int, TaskOutcome] = {}
+            for (position, is_cell), outcome in zip(owners, outcomes):
+                (cell_outcomes if is_cell else cross_outcomes)[position] = outcome
 
             for position, (unit, plan) in enumerate(zip(units, plans)):
-                self._merge(unit, plan, outcomes[position], rescue.get(position))
+                self._merge(
+                    unit,
+                    plan,
+                    cell_outcomes.get(position),
+                    cross_outcomes.get(position),
+                )
 
             for unit in units:
                 if unit.error is None and cacheable:
@@ -472,6 +525,7 @@ class ShardedQueryService:
                     items[slot].error = unit.error
                     items[slot].latency_seconds = unit.latency_seconds
                     items[slot].shard = unit.shard
+                    items[slot].plan = unit.plan
 
         report = BatchReport(items=items, wall_seconds=time.perf_counter() - begin)
         for item in report.items:
@@ -511,26 +565,30 @@ class ShardedQueryService:
         self,
         unit,
         plan: _Plan,
-        first: TaskOutcome,
-        rescue: TaskOutcome | None,
+        cell: TaskOutcome | None,
+        cross: TaskOutcome | None,
     ) -> None:
-        """Pick the winning outcome of a unit's (1 or 2) attempts.
+        """Pick the winning outcome of a unit's scatter wave.
 
         Feasible candidates are merged by objective score (ties prefer
-        the local shard — its result was produced from less state); with
-        no feasible candidate the *global* outcome stands, because only
-        the global engine's verdict speaks for the whole graph.
+        the cell shard — its result was produced from less state); with
+        no feasible candidate the *cross-cell* outcome stands, because
+        only the border engine's verdict speaks for the whole graph
+        (when only the cell attempt ran, its cell *is* the whole graph).
         """
-        unit.latency_seconds = first.latency_seconds + (
-            rescue.latency_seconds if rescue is not None else 0.0
+        # Attempt seconds are summed: that is the compute the query cost,
+        # and on a serial (or saturated) backend also its wall clock.  On
+        # a concurrent backend the attempts overlap, so batch wall time
+        # is tracked separately by BatchReport.wall_seconds.
+        unit.latency_seconds = sum(
+            outcome.latency_seconds for outcome in (cell, cross) if outcome is not None
         )
         candidates: list[tuple[str, TaskOutcome, Shard | None]] = []
-        if plan.shard is not None:
-            candidates.append((plan.shard.key, first, plan.shard))
-            if rescue is not None:
-                candidates.append((self._global_handle.key, rescue, None))
-        else:
-            candidates.append((self._global_handle.key, first, None))
+        if cell is not None:
+            assert plan.shard is not None
+            candidates.append((plan.shard.key, cell, plan.shard))
+        if cross is not None:
+            candidates.append((self._crosscell_handle.key, cross, None))
 
         best: tuple[str, KORResult] | None = None
         for key, outcome, shard in candidates:
@@ -546,20 +604,26 @@ class ShardedQueryService:
         if best is not None:
             unit.shard, unit.result = best
             unit.error = None
+            self._stats.record_merge(
+                "crosscell" if best[0] == self._crosscell_handle.key else "cell"
+            )
             return
 
         # Nothing feasible: the last candidate is always the one whose
-        # verdict covers the full graph (global when escalation ran).
+        # verdict covers the full graph (cross-cell when it ran).
         key, outcome, shard = candidates[-1]
         unit.shard = key
         if outcome.error is not None:
             unit.error = outcome.error
             unit.result = None
+            self._stats.record_merge("error")
         elif outcome.result is not None:
             unit.result = (
                 self._globalize(shard, unit.query, outcome.result)
                 if shard is not None
                 else outcome.result
             )
+            self._stats.record_merge("infeasible")
         else:  # pragma: no cover - backends always set one of the two
             unit.error = QueryError("backend returned an empty task outcome")
+            self._stats.record_merge("error")

@@ -51,6 +51,11 @@ class StatsSnapshot:
     shard_tasks: dict = field(default_factory=dict)
     #: Shard key -> tasks that raised there.
     shard_errors: dict = field(default_factory=dict)
+    #: Scatter-merge outcomes of a sharded service: how many computed
+    #: queries were won by the cell attempt (``cell``), by the
+    #: cross-cell assembly (``crosscell``), proven infeasible
+    #: (``infeasible``) or failed outright (``error``).
+    merge_wins: dict = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -82,6 +87,11 @@ class StatsSnapshot:
                 f"{shard}={count}" for shard, count in sorted(self.shard_tasks.items())
             )
             line += f"; shard tasks: {shards}"
+        if self.merge_wins:
+            wins = ", ".join(
+                f"{winner}={count}" for winner, count in sorted(self.merge_wins.items())
+            )
+            line += f"; merge wins: {wins}"
         return line
 
 
@@ -110,6 +120,7 @@ class ServiceStats:
         self._busy_seconds = 0.0
         self._shard_tasks: dict[str, int] = {}
         self._shard_errors: dict[str, int] = {}
+        self._merge_wins: dict[str, int] = {}
 
     def record_query(self, latency_seconds: float, cached: bool) -> None:
         """One answered query (hit or computed)."""
@@ -143,6 +154,12 @@ class ServiceStats:
             if errors:
                 self._shard_errors[shard] = self._shard_errors.get(shard, 0) + errors
 
+    def record_merge(self, winner: str) -> None:
+        """Account one scatter-merge outcome (``cell`` / ``crosscell`` /
+        ``infeasible`` / ``error``) on a sharded service."""
+        with self._lock:
+            self._merge_wins[winner] = self._merge_wins.get(winner, 0) + 1
+
     def snapshot(self) -> StatsSnapshot:
         """Freeze the current aggregates (percentiles over the window)."""
         with self._lock:
@@ -160,6 +177,7 @@ class ServiceStats:
                 busy_seconds=self._busy_seconds,
                 shard_tasks=dict(self._shard_tasks),
                 shard_errors=dict(self._shard_errors),
+                merge_wins=dict(self._merge_wins),
             )
 
     def reset(self) -> None:
@@ -173,3 +191,4 @@ class ServiceStats:
             self._busy_seconds = 0.0
             self._shard_tasks.clear()
             self._shard_errors.clear()
+            self._merge_wins.clear()

@@ -80,6 +80,20 @@ class TestExperimentStructure:
         result = experiments.fig06_runtime_vs_epsilon()
         assert "fig06" in result.to_table()
 
+    def test_sharded_memory_structure(self):
+        result = experiments.sharded_memory(cell_counts=(1, 2, 4))
+        assert result.figure == "sharded_memory"
+        assert result.xs == [1, 2, 4]
+        sharded = result.series["sharded service tables (MB)"]
+        flat = result.series["flat score tables (MB)"]
+        assert all(mb > 0 for mb in sharded)
+        assert len(set(flat)) == 1  # the flat reference is a constant line
+        # Multi-cell deployments must undercut both the flat score
+        # tables and the single-cell footprint (no global tier left).
+        assert all(mb < flat[0] for mb in sharded[1:])
+        assert all(mb < sharded[0] for mb in sharded[1:])
+        assert result.meta["border_nodes"][1] == 0
+
     def test_sharded_throughput_structure(self):
         result = experiments.sharded_throughput(workers=2)
         assert result.figure == "sharded_throughput"

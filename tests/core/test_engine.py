@@ -5,7 +5,6 @@ import pytest
 from repro.core.engine import ALGORITHMS, KOREngine
 from repro.core.query import KORQuery
 from repro.exceptions import QueryError
-from repro.graph.generators import figure_1_graph
 from repro.index.inverted import InvertedIndex
 from repro.prep.tables import CostTables
 

@@ -1,6 +1,5 @@
 """Tests for the paged B+-tree (repro.index.btree)."""
 
-import pytest
 
 from repro.index.btree import BPlusTree
 from repro.index.buffer import BufferPool

@@ -1,6 +1,5 @@
 """Tests for the LRU buffer pool (repro.index.buffer)."""
 
-import pytest
 
 from repro.index.buffer import BufferPool
 from repro.index.pages import PageStore

@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.core.engine import KOREngine
-from repro.core.query import KORQuery
 from repro.exceptions import QueryError, StorageError
 from repro.graph.generators import figure_1_graph, line_graph
 

@@ -34,7 +34,6 @@ class TestQueryEquivalence:
                 )
 
     def test_same_infeasibility_reason(self, small_flickr_engine, disk_engine):
-        graph = small_flickr_engine.graph
         query = KORQuery(0, 1, ("keyword-that-does-not-exist",), 5.0)
         memory_result = small_flickr_engine.run(query, algorithm="osscaling")
         disk_result = disk_engine.run(query, algorithm="osscaling")

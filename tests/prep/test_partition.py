@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import PrepError
 from repro.graph.generators import figure_1_graph, grid_graph
-from repro.prep.partition import GraphPartition, PartitionedCostTables, partition_graph
+from repro.prep.partition import PartitionedCostTables, partition_graph
 from repro.prep.tables import CostTables
 
 
@@ -67,7 +67,9 @@ class TestPartitioning:
 
 
 class TestAssembledScores:
-    """Partitioned scores are exact in-cell and upper bounds across cells."""
+    """Partitioned scores are exact: any optimal path decomposes at its
+    first/last border node, and the border leg is measured on the full
+    graph (see the module docstring of repro.prep.partition)."""
 
     @pytest.mark.parametrize("target", [0, 24, 48])
     def test_sigma_never_undercuts_flat(self, partitioned, flat, target):
@@ -83,16 +85,59 @@ class TestAssembledScores:
         finite = np.isfinite(reference)
         assert np.all(assembled[finite] >= reference[finite] - 1e-9)
 
-    def test_exact_on_grid(self, partitioned, flat):
-        """On a uniform grid every optimum can be assembled via borders."""
-        assembled = partitioned.bs_sigma_col(24)
-        reference = flat.bs_sigma_col(24)
-        np.testing.assert_allclose(assembled, reference)
+    @pytest.mark.parametrize("target", [0, 10, 24, 48])
+    def test_exact_on_grid(self, partitioned, flat, target):
+        """Primary scores equal the flat tables', not just bound them."""
+        np.testing.assert_allclose(
+            partitioned.bs_sigma_col(target), flat.bs_sigma_col(target)
+        )
+        np.testing.assert_allclose(
+            partitioned.os_tau_col(target), flat.os_tau_col(target)
+        )
+
+    def test_exact_on_random_directed_graphs(self):
+        """Exactness holds on directed non-uniform graphs too."""
+        from tests.service.test_differential import random_instance
+
+        for seed in (0, 1, 2, 3):
+            engine, _queries = random_instance(seed)
+            graph = engine.graph
+            flat = CostTables.from_graph(graph, predecessors=False)
+            for cells in (2, 3):
+                partitioned = PartitionedCostTables.from_graph(
+                    graph, num_cells=min(cells, graph.num_nodes), seed=seed
+                )
+                for t in range(graph.num_nodes):
+                    np.testing.assert_allclose(
+                        partitioned.os_tau_col(t), flat.os_tau_col(t)
+                    )
+                    np.testing.assert_allclose(
+                        partitioned.bs_sigma_col(t), flat.bs_sigma_col(t)
+                    )
+
+    def test_rows_match_columns(self, partitioned):
+        """Row and column assemblies describe the same table."""
+        for i in (0, 7, 24):
+            row = partitioned.os_tau_row(i)
+            for j in (0, 13, 48):
+                assert row[j] == pytest.approx(partitioned.os_tau_col(j)[i])
+        for i in (3, 30):
+            row = partitioned.bs_sigma_row(i)
+            for j in (1, 25):
+                assert row[j] == pytest.approx(partitioned.bs_sigma_col(j)[i])
 
     def test_scalar_lookups_match_columns(self, partitioned):
         column = partitioned.os_tau_col(10)
         for node in (0, 5, 30):
             assert partitioned.os_tau(node, 10) == pytest.approx(column[node])
+
+    def test_multi_column_gather_matches_columns(self, partitioned):
+        nodes = np.array([0, 24, 48])
+        gathered = partitioned.os_tau_cols(nodes)
+        for position, t in enumerate(nodes):
+            np.testing.assert_array_equal(
+                gathered[:, position], partitioned.os_tau_col(int(t))
+            )
 
     def test_reachability_preserved(self):
         """Unreachable pairs stay inf under partitioning."""
@@ -102,6 +147,94 @@ class TestAssembledScores:
         partitioned = PartitionedCostTables.from_graph(graph, num_cells=2, seed=0)
         assert np.isinf(partitioned.os_tau(5, 0))
         assert np.isfinite(partitioned.os_tau(0, 5))
+
+
+class TestPathMaterialisation:
+    """tau_path / sigma_path stitch real full-graph walks whose scores
+    equal the assembled table entries."""
+
+    @pytest.fixture(scope="class")
+    def with_paths(self, grid):
+        return PartitionedCostTables.from_graph(
+            grid, num_cells=4, seed=1, predecessors=True
+        )
+
+    def test_paths_rescore_to_table_entries(self, grid, with_paths):
+        from repro.core.route import Route
+
+        for i, j in ((0, 48), (24, 3), (6, 42), (17, 17)):
+            route = Route.from_nodes(grid, with_paths.tau_path(i, j))
+            assert route.nodes[0] == i and route.nodes[-1] == j
+            assert route.objective_score == pytest.approx(with_paths.os_tau(i, j))
+            assert route.budget_score == pytest.approx(with_paths.bs_tau(i, j))
+            route = Route.from_nodes(grid, with_paths.sigma_path(i, j))
+            assert route.budget_score == pytest.approx(with_paths.bs_sigma(i, j))
+            assert route.objective_score == pytest.approx(with_paths.os_sigma(i, j))
+
+    def test_unreachable_pair_raises(self):
+        from repro.graph.generators import line_graph
+
+        graph = line_graph(6)
+        tables = PartitionedCostTables.from_graph(
+            graph, num_cells=2, seed=0, predecessors=True
+        )
+        with pytest.raises(PrepError):
+            tables.tau_path(5, 0)
+
+    def test_scoreless_tables_refuse_paths(self, partitioned):
+        assert not partitioned.has_paths
+        with pytest.raises(PrepError):
+            partitioned.tau_path(0, 1)
+
+    def test_row_column_caches_stay_bounded(self, grid):
+        """The LRU caches can never regrow an O(n^2) footprint."""
+        tables = PartitionedCostTables.from_graph(grid, num_cells=4, seed=1)
+        for t in range(grid.num_nodes):
+            tables.os_tau_col(t)
+            tables.os_tau_row(t)
+        capacity = tables._column_cache.capacity
+        assert len(tables._column_cache) <= capacity
+        assert len(tables._row_cache) <= capacity
+        per_entry = 2 * 8 * grid.num_nodes
+        assert tables.cache_bytes() <= 2 * capacity * per_entry
+        # Hot entries survive (LRU, not clear-on-full): the last target
+        # touched is still cached.
+        last = grid.num_nodes - 1
+        assert tables._column_cache.get((last, "tau")) is not None
+
+    def test_lru_cache_evicts_oldest_first(self):
+        from repro.prep.partition import _CACHE_BYTE_BUDGET, _LRUPairCache
+
+        # A graph large enough that the byte budget forces the entry floor.
+        cache = _LRUPairCache(num_nodes=_CACHE_BYTE_BUDGET)
+        capacity = cache.capacity
+        empty = (np.empty(0), np.empty(0))
+        for key in range(capacity):
+            cache.put(key, empty)
+        assert cache.get(0) is not None  # refresh key 0
+        cache.put(capacity, empty)  # evicts key 1 (oldest unrefreshed)
+        assert len(cache) == capacity
+        assert cache.get(1) is None
+        assert cache.get(0) is not None
+        assert cache.get(capacity) is not None
+
+    def test_pickle_round_trip_drops_caches_keeps_answers(self, grid, with_paths):
+        import pickle
+
+        with_paths.os_tau_col(24)  # populate a cache entry
+        clone = pickle.loads(pickle.dumps(with_paths))
+        assert clone._column_cache == {}
+        np.testing.assert_array_equal(clone.os_tau_col(24), with_paths.os_tau_col(24))
+        assert clone.tau_path(0, 48) == with_paths.tau_path(0, 48)
+
+    def test_shared_cell_tables_are_validated(self, grid):
+        partition = partition_graph(grid, 2, seed=0)
+        with pytest.raises(PrepError):
+            PartitionedCostTables.from_graph(
+                grid,
+                partition=partition,
+                cell_tables=(CostTables.from_graph(grid),),  # wrong count
+            )
 
 
 class TestMemory:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.engine import KOREngine
 from repro.core.query import KORQuery
 from repro.datasets.queries import QuerySetConfig, generate_query_set
 from repro.exceptions import QueryError

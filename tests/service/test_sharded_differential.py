@@ -8,14 +8,13 @@ randomized graphs and ≥ 3 partition granularities:
   failure reason);
 * any granularity — answers must be *sound* (a returned route exists in
   the full graph, covers the query keywords and fits the budget) and
-  respect the **partition upper-bound invariant**: a cell-local answer
-  can only overestimate, never beat, the true optimum certified by the
-  flat ``exact`` engine;
+  never beat the true optimum certified by the flat ``exact`` engine;
 * feasibility equivalence — for the complete algorithms the sharded
-  service finds a feasible route exactly when the flat engine does
-  (the scatter-gather fallback ends at a global engine identical to the
-  flat one); the greedy heuristics may only become *more* feasible
-  (a cell-local greedy can succeed where the flat greedy wanders off).
+  service finds a feasible route exactly when the flat engine does: the
+  scatter wave always includes the cross-cell ``BorderEngine``, whose
+  border-table assembly is exact over the full graph; the greedy
+  heuristics may only become *more* feasible (a cell-local greedy can
+  succeed where the flat greedy wanders off).
 
 Graphs stay tiny and edge weights >= 1 so the ``exhaustive`` baseline's
 walk enumeration stays bounded and ``exact`` optima are cheap to certify.
@@ -76,12 +75,13 @@ def test_sharded_matches_flat_contract(algorithm, num_cells, service_backend):
                 assert result.feasible == flat_result.feasible
             elif flat_result.feasible:
                 # Greedy may improve through a cell, never regress: the
-                # escalation chain ends at the very engine `flat` used.
+                # cross-cell attempt sees the whole graph through exact
+                # border tables, like the flat engine did.
                 assert result.feasible
             if result.feasible:
                 assert_sound(graph, query, result)
-                # Partition upper-bound invariant: nothing the sharded
-                # service returns beats the certified optimum.
+                # Soundness invariant: nothing the sharded service
+                # returns beats the certified optimum.
                 assert result.objective_score >= optimum.objective_score - 1e-9
 
 
@@ -115,9 +115,9 @@ def test_single_submits_match_batches(service_backend):
         assert fingerprint(got) == fingerprint(expected)
 
 
-def test_vocabulary_missing_keyword_routes_straight_to_global(service_backend):
-    """No engine can cover an unknown keyword: one global run, no
-    local attempt, no escalation, flat-identical failure."""
+def test_vocabulary_missing_keyword_routes_straight_to_crosscell(service_backend):
+    """No engine can cover an unknown keyword: one cross-cell run, no
+    local attempt, flat-identical failure."""
     from repro.core.query import KORQuery
 
     engine, _ = random_instance(0)
@@ -130,8 +130,8 @@ def test_vocabulary_missing_keyword_routes_straight_to_global(service_backend):
     assert fingerprint(result) == fingerprint(flat)
     assert not result.feasible
     snapshot = service.snapshot()
-    assert sum(snapshot.shard_tasks.values()) == 1  # exactly one global task
-    assert all(key.endswith("global") for key in snapshot.shard_tasks)
+    assert sum(snapshot.shard_tasks.values()) == 1  # exactly one crosscell task
+    assert all(key.endswith("crosscell") for key in snapshot.shard_tasks)
 
 
 def test_routing_stats_cover_every_computed_query(service_backend):
@@ -144,11 +144,18 @@ def test_routing_stats_cover_every_computed_query(service_backend):
     snapshot = service.snapshot()
     total_tasks = sum(snapshot.shard_tasks.values())
     # Every computed unique query ran at least one task, at most two
-    # (local attempt + global escalation); duplicates share one unit.
+    # (concurrent cell attempt + cross-cell assembly); duplicates share
+    # one unit.
     unique = len({item.query for item in report.items})
     assert unique <= computed <= len(queries)
     assert unique <= total_tasks <= 2 * unique
-    assert all(key.endswith(("global",)) or "/cell-" in key for key in snapshot.shard_tasks)
+    assert all(
+        key.endswith("crosscell") or "/cell-" in key for key in snapshot.shard_tasks
+    )
+    # Every computed unit records exactly one merge outcome, and every
+    # computed item carries its routing plan.
+    assert sum(snapshot.merge_wins.values()) == unique
+    assert all(item.plan is not None for item in report.items if not item.cached)
 
 
 LENIENT = settings(
