@@ -1,0 +1,46 @@
+"""Async front-end — sync batch vs awaited-concurrently throughput.
+
+Expected shape: the ``Async-frontend`` series stays within small
+constant overhead of ``Sync-batch`` (it adds an event loop and one
+executor hop around the very same ``execute`` path) while the
+scheduling meta shows the collapse doing its job — a repeat-heavy
+stream of N requests turns into far fewer flights and a handful of
+execute waves.
+
+This file doubles as the smoke test: the front-end must actually
+coalesce (repeat traffic, so ``coalesced > 0``), must aggregate
+distinct queries into fewer waves than requests, and must not collapse
+throughput (> 20% of the sync batch — generous, because tiny streams
+on a busy runner measure event-loop overhead more than serving).
+"""
+
+from _helpers import emit_figure
+from repro.bench.experiments import async_throughput
+
+SERIES = ("Sync-batch", "Async-frontend")
+
+
+def test_cell(benchmark):
+    result = benchmark.pedantic(
+        lambda: async_throughput(repeats=3), rounds=1, iterations=1
+    )
+    assert set(result.series) == set(SERIES)
+
+
+def test_emit_figure(benchmark):
+    result = emit_figure(benchmark, async_throughput)
+    for name in SERIES:
+        assert all(value > 0 for value in result.series[name])
+    for dataset in result.xs:
+        scheduling = result.meta["scheduling"][dataset]
+        # The stream repeats its base set: duplicates must coalesce ...
+        assert result.meta["coalesced"][dataset] > 0
+        assert scheduling["flights"] < scheduling["requests"]
+        # ... and distinct flights must share waves, not execute alone.
+        assert scheduling["waves"] <= scheduling["flights"]
+    position = result.xs.index("flickr")
+    ratio = result.series["Async-frontend"][position] / result.series["Sync-batch"][position]
+    assert ratio > 0.2, (
+        f"async front-end at {ratio:.2f}x of the sync batch on flickr — "
+        "scheduling overhead should not eat the serving tier"
+    )

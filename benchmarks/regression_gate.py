@@ -91,6 +91,7 @@ def _collect_round() -> tuple[float, dict[str, float]]:
 def _collect_qps() -> dict[str, float]:
     """One round of the small serving suite, as queries/second."""
     from repro.bench.experiments import (
+        border_heavy_throughput,
         clear_cell_cache,
         service_throughput,
         sharded_throughput,
@@ -120,6 +121,14 @@ def _collect_qps() -> dict[str, float]:
             metrics[f"sharded/{dataset}/{backend}_qps"] = sharded.series[backend][
                 position
             ]
+
+    # Border-heavy (cross-cell) mix: every query runs on the cross-cell
+    # assembly, so this is the latency figure that catches a BorderEngine
+    # or scatter-path regression the natural mix would average away.
+    border = border_heavy_throughput(backend_names=gated_backends)
+    for position, dataset in enumerate(border.xs):
+        for backend in gated_backends:
+            metrics[f"border/{dataset}/{backend}_qps"] = border.series[backend][position]
     return metrics
 
 

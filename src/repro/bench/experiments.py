@@ -64,6 +64,8 @@ __all__ = [
     "ablation_epsilon_labels",
     "service_throughput",
     "sharded_throughput",
+    "border_heavy_throughput",
+    "async_throughput",
     "sharded_memory",
     "all_experiments",
     "clear_cell_cache",
@@ -1067,6 +1069,222 @@ def sharded_throughput(
     )
 
 
+def border_heavy_throughput(
+    workers: int = 4,
+    num_queries: int | None = None,
+    backend_names: tuple[str, ...] | None = None,
+) -> ExperimentResult:
+    """Sharded serving under a border-heavy (cross-cell) query mix.
+
+    The ``sharded_throughput`` figure measures a natural mix, which
+    leans cell-local; this one forces every query's endpoints into
+    *different* cells, so (almost) every miss skips the cell attempt and
+    runs on the cross-cell :class:`~repro.service.crosscell.BorderEngine`
+    alone — the regime the border-table assembly is for, and the one the
+    CI regression gate watches so cross-cell latency cannot silently
+    rot.  Values are batch throughput in queries/second per execution
+    backend; ``meta`` records the achieved cross-cell fraction (should
+    read ~1.0) and the scatter-merge win mix.
+    """
+    import time as _time
+
+    from repro.core.query import KORQuery
+    from repro.graph.generators import figure_1_graph
+    from repro.service import ProcessBackend, SerialBackend, ShardedQueryService, ThreadBackend
+
+    fig1_queries = []
+    for spread, delta in enumerate((8.0, 9.0, 10.0, 11.0, 12.0, 13.0)):
+        for keywords in (("t1", "t2", "t3"), ("t1", "t2"), ("t2", "t4"), ("t3",)):
+            fig1_queries.append(KORQuery(0, 7, keywords, delta + 0.1 * spread))
+    datasets: list[tuple[str, object, list[KORQuery], int]] = [
+        ("figure1", figure_1_graph(), fig1_queries, 2)
+    ]
+
+    workload = flickr_workload()
+    flickr_queries: list[KORQuery] = []
+    for kw in (2, 3, 4):
+        flickr_queries.extend(workload.query_set(kw, 6.0, num_queries=num_queries))
+    datasets.append(("flickr", workload.graph, flickr_queries, 0))
+
+    backends = (
+        ("SerialBackend", lambda: SerialBackend()),
+        ("ThreadBackend", lambda: ThreadBackend(workers=workers)),
+        ("ProcessBackend", lambda: ProcessBackend(workers=workers)),
+    )
+    if backend_names is not None:
+        backends = tuple(
+            (name, factory) for name, factory in backends if name in backend_names
+        )
+
+    xs = [name for name, _graph, _queries, _cells in datasets]
+    series: dict[str, list[float]] = {name: [] for name, _factory in backends}
+    meta: dict = {
+        "workers": workers,
+        "num_cells": {},
+        "cross_cell_fraction": {},
+        "merge_wins": {},
+    }
+
+    for dataset_name, graph, base_queries, cells in datasets:
+        # Derive the cross-cell mix once per dataset: the partition is
+        # seed-deterministic, so every backend's service agrees on it.
+        probe = ShardedQueryService(
+            graph, num_cells=cells or None, backend=SerialBackend(), cache_capacity=0
+        )
+        partition = probe.partition
+        num_cells = probe.num_shards
+        queries: list[KORQuery] = []
+        for query in base_queries:
+            src_cell = int(partition.cell_of[query.source])
+            if num_cells > 1 and int(partition.cell_of[query.target]) == src_cell:
+                other = (src_cell + 1) % num_cells
+                target = int(partition.cells[other][0])
+                query = KORQuery(query.source, target, query.keywords, query.budget_limit)
+            queries.append(query)
+        crossing = sum(1 for q in queries if probe.plan_of(q) != "local")
+        meta["cross_cell_fraction"][dataset_name] = crossing / max(len(queries), 1)
+        meta["num_cells"][dataset_name] = num_cells
+        probe.close()
+
+        for backend_name, factory in backends:
+            backend = factory()
+            try:
+                service = ShardedQueryService(
+                    graph, num_cells=cells or None, backend=backend, cache_capacity=0
+                )
+                # Warm pass: pool spin-up + worker engine assembly.
+                service.run_batch(queries, algorithm="bucketbound", workers=workers)
+                begin = _time.perf_counter()
+                service.run_batch(queries, algorithm="bucketbound", workers=workers)
+                wall = _time.perf_counter() - begin
+                meta["merge_wins"].setdefault(dataset_name, {})[backend_name] = dict(
+                    service.snapshot().merge_wins
+                )
+                service.close()
+            finally:
+                backend.close()
+            series[backend_name].append(len(queries) / wall)
+
+    return ExperimentResult(
+        figure="border_heavy_throughput",
+        title="Sharded serving throughput on a border-heavy query mix",
+        x_name="dataset",
+        xs=xs,
+        series=series,
+        y_name="queries / second",
+        notes=(
+            "every query's endpoints forced into different cells (cross-cell "
+            f"fraction in meta); cache disabled, {workers} workers; "
+            "cross-cell answers come from the border-table assembly alone"
+        ),
+        meta=meta,
+    )
+
+
+def async_throughput(
+    repeats: int = 4,
+    num_queries: int | None = None,
+    window_seconds: float = 0.0,
+    max_batch: int = 256,
+) -> ExperimentResult:
+    """Sync batch vs asyncio front-end under concurrent load.
+
+    The same repeat-heavy stream is served two ways on a fresh
+    :class:`~repro.service.service.QueryService` each:
+
+    * ``Sync-batch`` — one blocking ``run_batch`` call (the PR 1 shape);
+    * ``Async-frontend`` — every stream query awaited *concurrently*
+      through an :class:`~repro.service.frontend.AsyncQueryService`,
+      which coalesces the duplicates (single-flight) and aggregates the
+      distinct queries into micro-batched ``execute`` waves.
+
+    Values are stream queries/second; ``meta`` records how much the
+    front-end collapsed (requests vs flights vs waves, coalesced count).
+    The interesting reading is the *ratio*: the front-end should stay
+    within small overhead of the batch path while turning a
+    many-concurrent-awaiters workload into the same few engine runs.
+    """
+    import asyncio
+    import time as _time
+
+    from repro.core.engine import KOREngine
+    from repro.core.query import KORQuery
+    from repro.graph.generators import figure_1_graph
+    from repro.service import AsyncQueryService, QueryService
+
+    datasets: list[tuple[str, KOREngine, list[KORQuery]]] = []
+
+    fig1_engine = KOREngine(figure_1_graph())
+    fig1_queries = [
+        KORQuery(0, 7, ("t1", "t2", "t3"), 8.0),
+        KORQuery(0, 7, ("t1", "t2"), 8.0),
+        KORQuery(0, 6, ("t2", "t4"), 10.0),
+        KORQuery(1, 7, ("t3",), 9.0),
+        KORQuery(0, 5, ("t1", "t4"), 12.0),
+        KORQuery(2, 7, ("t2", "t3"), 9.0),
+    ]
+    datasets.append(("figure1", fig1_engine, fig1_queries))
+
+    workload = flickr_workload()
+    datasets.append(
+        ("flickr", workload.engine, workload.query_set(3, num_queries=num_queries))
+    )
+
+    xs: list[str] = []
+    sync_qps: list[float] = []
+    async_qps: list[float] = []
+    meta: dict = {
+        "repeats": repeats,
+        "window_seconds": window_seconds,
+        "max_batch": max_batch,
+        "coalesced": {},
+        "scheduling": {},
+    }
+
+    for name, engine, base_queries in datasets:
+        stream = list(base_queries) * repeats
+
+        sync_service = QueryService(engine, cache_capacity=4096)
+        begin = _time.perf_counter()
+        sync_service.run_batch(stream, algorithm="bucketbound")
+        sync_wall = _time.perf_counter() - begin
+
+        async_service = QueryService(engine, cache_capacity=4096)
+
+        async def drive(service=async_service):
+            front = AsyncQueryService(
+                service, window_seconds=window_seconds, max_batch=max_batch
+            )
+            async with front:
+                await front.run_batch(stream, algorithm="bucketbound")
+                return front.snapshot(), front.scheduling_stats()
+
+        begin = _time.perf_counter()
+        snapshot, scheduling = asyncio.run(drive())
+        async_wall = _time.perf_counter() - begin
+
+        xs.append(name)
+        sync_qps.append(len(stream) / sync_wall if sync_wall > 0 else float("inf"))
+        async_qps.append(len(stream) / async_wall if async_wall > 0 else float("inf"))
+        meta["coalesced"][name] = snapshot.coalesced
+        meta["scheduling"][name] = scheduling
+
+    return ExperimentResult(
+        figure="async_throughput",
+        title="Sync batch vs asyncio front-end on a concurrent stream",
+        x_name="dataset",
+        xs=xs,
+        series={"Sync-batch": sync_qps, "Async-frontend": async_qps},
+        y_name="queries / second",
+        notes=(
+            f"stream = base query set x{repeats}, all stream queries awaited "
+            "concurrently through the async front-end (coalescing + "
+            "micro-batching); fresh service and cold cache per mode"
+        ),
+        meta=meta,
+    )
+
+
 def sharded_memory(cell_counts: tuple[int, ...] = (1, 2, 4, 8)) -> ExperimentResult:
     """Memory vs cell count for the sharded service (no global tier).
 
@@ -1161,5 +1379,7 @@ def all_experiments() -> list:
         ablation_disk_index,
         service_throughput,
         sharded_throughput,
+        border_heavy_throughput,
+        async_throughput,
         sharded_memory,
     ]

@@ -39,13 +39,29 @@ amortise most of that work.  This package adds one:
     concurrent wave, merged by objective score; see the module
     docstrings for the full contract.
 
+``AsyncQueryService``
+    The request-shaped asyncio tier (:mod:`repro.service.frontend`):
+    ``await service.submit(query)`` coalesces duplicate in-flight
+    requests (single-flight on the cache's canonical key), aggregates
+    concurrent awaiters into one micro-batched ``execute`` wave, and
+    supports per-request timeouts whose cancellation propagates down to
+    undispatched shard tasks.  Wraps either sync service; results are
+    byte-identical to the sync path.
+
 ``ExecutionBackend``
-    Where compute actually runs (:mod:`repro.service.backends`):
-    ``SerialBackend`` (reference/debugging), ``ThreadBackend``
-    (GIL-sharing pool, cheapest for numpy-heavy work) and
-    ``ProcessBackend`` (a ``ProcessPoolExecutor`` over picklable
-    :class:`~repro.service.backends.EngineHandle` shard state — the
-    backend that scales CPU-bound batch fan-out past the GIL).
+    Where compute actually runs (:mod:`repro.service.backends`).  The
+    primitive is futures-based — ``submit_task(task) ->
+    Future[TaskOutcome]`` with bounded in-flight admission
+    (``max_in_flight``) — and the blocking batch APIs are shared
+    wrappers over it.  ``SerialBackend`` (reference/debugging),
+    ``ThreadBackend`` (persistent GIL-sharing pool, cheapest for
+    numpy-heavy work) and ``ProcessBackend`` (**warm-pinned**
+    single-process lanes over picklable
+    :class:`~repro.service.backends.EngineHandle` shard state: repeat
+    traffic for a shard sticks to the worker that already materialised
+    its engine, with a per-worker engine LRU, saturation spill and
+    dead-worker retry — the backend that scales CPU-bound fan-out past
+    the GIL).
 
 Quickstart::
 
@@ -89,11 +105,13 @@ from repro.service.backends import (
 from repro.service.batch import BatchError, BatchItem, BatchReport
 from repro.service.cache import CacheStats, ResultCache, canonical_cache_key
 from repro.service.crosscell import BorderEngine
+from repro.service.frontend import AsyncQueryService
 from repro.service.service import QueryService
 from repro.service.sharding import Shard, ShardedQueryService
 from repro.service.stats import ServiceStats, StatsSnapshot
 
 __all__ = [
+    "AsyncQueryService",
     "BatchError",
     "BatchItem",
     "BatchReport",

@@ -9,29 +9,66 @@ The serving layer describes compute work in one of two currencies:
   this query, with this algorithm and these parameters, against the
   engine registered under this shard key".
 
-:class:`SerialBackend` and :class:`ThreadBackend` execute both kinds in
-the calling process.  :class:`ProcessBackend` executes shard tasks in a
-``concurrent.futures.ProcessPoolExecutor``: every registered engine is
-wrapped in a picklable :class:`EngineHandle` (graph + pre-built cost
-tables + inverted index — no locks, no open files), shipped to each
-worker exactly once through the pool initializer, and materialised into
-a worker-local :class:`repro.core.engine.KOREngine` on first use.  That
-is what finally lets CPU-bound batch fan-out scale past the GIL.
+Since the async front-end landed, the *primitive* every backend
+implements is **futures-based submission**: :meth:`ExecutionBackend.\
+submit_task` hands one :class:`ShardTask` to the backend and immediately
+returns a ``concurrent.futures.Future`` resolving to its
+:class:`TaskOutcome`.  The blocking batch APIs (:meth:`run_tasks`,
+:meth:`map`) are thin shared wrappers over that primitive — submit,
+optionally windowed to a ``workers`` limit, then gather in submission
+order — so Serial/Thread/Process execute batches through one code path
+and a server can interleave request handling with shard fan-out by
+holding the futures instead.
 
-All three backends return outcomes **in task submission order**, so
-callers get deterministic slot assignment no matter how many workers
-raced, and a task that raises is reported through its own
-:class:`TaskOutcome` without disturbing its neighbours.
+Admission is bounded: construct any backend with ``max_in_flight=N`` and
+the (N+1)-th concurrent submission blocks until a slot frees.  The
+current depth, high-water mark and number of blocked admissions are
+exposed (:attr:`~ExecutionBackend.in_flight`,
+:attr:`~ExecutionBackend.peak_in_flight`,
+:attr:`~ExecutionBackend.admission_waits`) and surface in service
+snapshots as ``queue_depth_peak``.
+
+:class:`SerialBackend` and :class:`ThreadBackend` execute both kinds of
+work in the calling process.  :class:`ProcessBackend` executes shard
+tasks out of process — and is **warm-pinned**: instead of one anonymous
+pool it keeps ``workers`` single-process *lanes* and remembers which
+lane first served each shard, so repeat traffic for a cell lands on the
+worker that already materialised that cell's engine.  Worker-side,
+engines live in a per-worker LRU under an optional byte budget
+(``max_worker_engine_bytes``); parent-side, pin hits/misses/assignments
+and dead-worker fallbacks are counted (:meth:`ProcessBackend.pin_stats`)
+and per-worker build/eviction counters are introspectable
+(:meth:`ProcessBackend.worker_stats`).  A pinned lane that is saturated
+(its queue runs ``spill_margin`` deeper than the least-loaded lane)
+spills to the least-loaded lane; a lane whose worker died is rebuilt and
+the task retried once, transparently.
+
+All backends return outcomes **in task submission order**, so callers
+get deterministic slot assignment no matter how many workers raced, and
+a task that raises is reported through its own :class:`TaskOutcome`
+without disturbing its neighbours.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import pickle
+import threading
 import time
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from collections import OrderedDict
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    Future,
+    InvalidStateError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from repro.core.engine import KOREngine
@@ -54,6 +91,10 @@ __all__ = [
 
 #: Fan-out width when the caller does not pick one.
 DEFAULT_WORKERS = 4
+
+#: How much deeper a pinned lane's queue may run than the least-loaded
+#: lane before a task spills off its pin (counted as a pin miss).
+DEFAULT_SPILL_MARGIN = 8
 
 _HANDLE_COUNTER = itertools.count()
 
@@ -85,12 +126,19 @@ class EngineHandle:
         self._tables = engine.tables
         self._index = engine.index
 
+    def materialise(self) -> KOREngine:
+        """A fresh live engine assembled from the pre-built parts.
+
+        Unlike :meth:`engine` the result is *not* retained on the
+        handle — the worker-side engine LRU owns the lifetime, so an
+        evicted engine is actually freed instead of hiding here.
+        """
+        return self._engine_cls(self._graph, tables=self._tables, index=self._index)
+
     def engine(self) -> KOREngine:
         """The live engine (materialised from parts after unpickling)."""
         if self._engine is None:
-            self._engine = self._engine_cls(
-                self._graph, tables=self._tables, index=self._index
-            )
+            self._engine = self.materialise()
         return self._engine
 
     def __getstate__(self) -> dict:
@@ -169,17 +217,105 @@ def run_task_on_engine(engine: KOREngine, task: ShardTask) -> TaskOutcome:
         return TaskOutcome(error=error, latency_seconds=time.perf_counter() - begin)
 
 
+def _completed_future(outcome: TaskOutcome) -> Future:
+    """A future that is already resolved to *outcome*."""
+    future: Future = Future()
+    future.set_result(outcome)
+    return future
+
+
+def _try_resolve(future: Future, outcome: TaskOutcome | None, error: BaseException | None) -> None:
+    """Resolve *future* unless a racing cancellation already did."""
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(outcome)
+    except InvalidStateError:  # cancelled while the work ran
+        pass
+
+
+def _outcome_of(future: Future) -> TaskOutcome:
+    """Collapse a submission future into a :class:`TaskOutcome`."""
+    try:
+        return future.result()
+    except CancelledError:
+        return TaskOutcome(
+            error=QueryError("task was cancelled before it started executing")
+        )
+    except Exception as error:  # noqa: BLE001 - per-task reporting
+        return TaskOutcome(error=error)
+
+
+def _engine_weight_bytes(engine: KOREngine) -> int:
+    """Resident-byte estimate of one engine (its cost tables dominate)."""
+    tables = getattr(engine, "tables", None)
+    if tables is None:
+        return 0
+    memory = getattr(tables, "memory_bytes", None)
+    if callable(memory):
+        return int(memory())
+    total = 0
+    for name in ("os_tau", "bs_tau", "os_sigma", "bs_sigma", "pred_tau", "pred_sigma"):
+        matrix = getattr(tables, name, None)
+        if matrix is not None and hasattr(matrix, "nbytes"):
+            total += int(matrix.nbytes)
+    return total
+
+
 # ----------------------------------------------------------------------
 # process-worker plumbing (module level so it pickles by reference)
 # ----------------------------------------------------------------------
 
-_WORKER_HANDLES: dict[str, EngineHandle] = {}
+_WORKER_STATE: dict = {
+    "handles": {},
+    "engines": OrderedDict(),  # shard key -> live engine (LRU order)
+    "weights": {},  # shard key -> resident byte estimate
+    "budget": None,
+    "builds": {},  # shard key -> times materialised in this worker
+    "evictions": 0,
+}
 
 
-def _process_worker_init(handles: tuple[EngineHandle, ...]) -> None:
-    """Pool initializer: install this pool generation's shard handles."""
-    _WORKER_HANDLES.clear()
-    _WORKER_HANDLES.update({handle.key: handle for handle in handles})
+def _process_worker_init(
+    handles: tuple[EngineHandle, ...], engine_budget: int | None
+) -> None:
+    """Pool initializer: install this generation's handles and budget."""
+    _WORKER_STATE["handles"] = {handle.key: handle for handle in handles}
+    _WORKER_STATE["engines"] = OrderedDict()
+    _WORKER_STATE["weights"] = {}
+    _WORKER_STATE["budget"] = engine_budget
+    _WORKER_STATE["builds"] = {}
+    _WORKER_STATE["evictions"] = 0
+
+
+def _worker_engine(key: str) -> KOREngine:
+    """This worker's engine for shard *key*, via the per-worker LRU.
+
+    A cache hit refreshes recency; a miss materialises the engine from
+    its handle (counted in ``builds``) and, when a byte budget is set,
+    evicts least-recently-used engines until the resident estimate fits
+    again — always keeping at least the engine just built.
+    """
+    engines: OrderedDict = _WORKER_STATE["engines"]
+    engine = engines.get(key)
+    if engine is not None:
+        engines.move_to_end(key)
+        return engine
+    handle: EngineHandle = _WORKER_STATE["handles"][key]
+    engine = handle.materialise()
+    builds = _WORKER_STATE["builds"]
+    builds[key] = builds.get(key, 0) + 1
+    weights: dict = _WORKER_STATE["weights"]
+    engines[key] = engine
+    weights[key] = _engine_weight_bytes(engine)
+    budget = _WORKER_STATE["budget"]
+    if budget is not None:
+        while len(engines) > 1 and sum(weights.values()) > budget:
+            evicted_key, _evicted = engines.popitem(last=False)
+            weights.pop(evicted_key, None)
+            _WORKER_STATE["evictions"] += 1
+    return engine
 
 
 def _portable_error(error: Exception) -> Exception:
@@ -193,18 +329,28 @@ def _portable_error(error: Exception) -> Exception:
 
 def _process_run_task(task: ShardTask) -> TaskOutcome:
     """Worker-side task entry point (looks the engine up by shard key)."""
-    handle = _WORKER_HANDLES.get(task.shard)
-    if handle is None:
+    if task.shard not in _WORKER_STATE["handles"]:
         return TaskOutcome(
             error=RemoteTaskError(
                 f"shard {task.shard!r} is not registered in this worker; "
-                f"known shards: {sorted(_WORKER_HANDLES)}"
+                f"known shards: {sorted(_WORKER_STATE['handles'])}"
             )
         )
-    outcome = run_task_on_engine(handle.engine(), task)
+    outcome = run_task_on_engine(_worker_engine(task.shard), task)
     if outcome.error is not None:
         outcome.error = _portable_error(outcome.error)
     return outcome
+
+
+def _worker_introspect(_: int = 0) -> dict:
+    """Worker-side counters for :meth:`ProcessBackend.worker_stats`."""
+    return {
+        "pid": os.getpid(),
+        "builds": dict(_WORKER_STATE["builds"]),
+        "resident": list(_WORKER_STATE["engines"]),
+        "resident_bytes": sum(_WORKER_STATE["weights"].values()),
+        "evictions": _WORKER_STATE["evictions"],
+    }
 
 
 def _worker_ping(_: int) -> bool:
@@ -220,10 +366,17 @@ def _worker_ping(_: int) -> bool:
 class ExecutionBackend(ABC):
     """Strategy for executing serving-layer work.
 
-    ``in_process`` backends additionally support :meth:`map` over
-    arbitrary closures (the batch executor's shared-candidate fast path);
-    out-of-process backends only accept :class:`ShardTask` work, whose
-    engines must first be made known via :meth:`register`.
+    The primitive is :meth:`submit_task`; :meth:`run_tasks` and
+    :meth:`map` are shared submission-order wrappers over it (and over
+    :meth:`submit_call` for closures).  ``in_process`` backends
+    additionally support closures sharing parent memory (the batch
+    executor's shared-candidate fast path); out-of-process backends only
+    accept :class:`ShardTask` work, whose engines must first be made
+    known via :meth:`register`.
+
+    ``max_in_flight`` bounds concurrent submissions: the backend admits
+    at most that many unresolved futures, blocking further
+    ``submit_*`` calls until one completes.
     """
 
     #: Stable name used by benchmarks, stats and ``backend_from_name``.
@@ -231,8 +384,18 @@ class ExecutionBackend(ABC):
     #: Whether closures sharing parent memory can run on this backend.
     in_process: bool = True
 
-    def __init__(self) -> None:
+    def __init__(self, max_in_flight: int | None = None) -> None:
+        if max_in_flight is not None and max_in_flight < 1:
+            raise QueryError(f"max_in_flight must be >= 1 or None, got {max_in_flight}")
         self._handles: dict[str, EngineHandle] = {}
+        self._max_in_flight = max_in_flight
+        self._admission = (
+            threading.Semaphore(max_in_flight) if max_in_flight is not None else None
+        )
+        self._depth_lock = threading.Lock()
+        self._in_flight = 0
+        self._peak_in_flight = 0
+        self._admission_waits = 0
 
     # -- shard registry ------------------------------------------------
     def register(self, handle: EngineHandle) -> EngineHandle:
@@ -254,6 +417,9 @@ class ExecutionBackend(ABC):
         Callers that retire an engine (e.g. ``replace_engine``) must
         unregister its handle, or the backend keeps the graph, tables
         and index alive — and keeps shipping them to pool workers.
+        Tasks already submitted for the shard run (or fail) with the
+        outcome they would have had; only *new* submissions see the
+        shrunk registry.
         """
         if self._handles.pop(key, None) is not None:
             self._on_registry_change()
@@ -286,12 +452,130 @@ class ExecutionBackend(ABC):
             return TaskOutcome(error=error)
         return run_task_on_engine(handle.engine(), task)
 
-    # -- execution -----------------------------------------------------
+    # -- admission -----------------------------------------------------
+    @property
+    def max_in_flight(self) -> int | None:
+        """Admission bound (None = unbounded)."""
+        return self._max_in_flight
+
+    @property
+    def in_flight(self) -> int:
+        """Submissions admitted but not yet resolved."""
+        with self._depth_lock:
+            return self._in_flight
+
+    @property
+    def peak_in_flight(self) -> int:
+        """Deepest concurrent submission queue observed so far."""
+        with self._depth_lock:
+            return self._peak_in_flight
+
+    @property
+    def admission_waits(self) -> int:
+        """Times a submission had to block for an admission slot."""
+        with self._depth_lock:
+            return self._admission_waits
+
+    def _release_slot(self, _future: Future | None = None) -> None:
+        with self._depth_lock:
+            self._in_flight -= 1
+        if self._admission is not None:
+            self._admission.release()
+
+    def _admitted(self, submit: Callable[[], Future]) -> Future:
+        """Run one submission through admission + depth accounting."""
+        if self._admission is not None and not self._admission.acquire(blocking=False):
+            with self._depth_lock:
+                self._admission_waits += 1
+            self._admission.acquire()
+        with self._depth_lock:
+            self._in_flight += 1
+            if self._in_flight > self._peak_in_flight:
+                self._peak_in_flight = self._in_flight
+        try:
+            future = submit()
+        except BaseException:
+            self._release_slot()
+            raise
+        future.add_done_callback(self._release_slot)
+        return future
+
+    # -- submission primitives -----------------------------------------
     @abstractmethod
+    def _submit(self, task: ShardTask) -> Future:
+        """Backend-specific task submission (no admission control)."""
+
+    def submit_task(self, task: ShardTask) -> Future:
+        """Submit one task, returning a ``Future[TaskOutcome]``.
+
+        The future resolves to the task's :class:`TaskOutcome` — query
+        failures are *inside* the outcome; the future itself only raises
+        for submission-level faults (cancellation, a worker process that
+        died beyond repair).  Blocks when ``max_in_flight`` is reached.
+        """
+        return self._admitted(lambda: self._submit(task))
+
+    def _submit_call(self, fn: Callable, *args) -> Future:
+        """Backend-specific closure submission (in-process backends)."""
+        raise QueryError(
+            f"{type(self).__name__} cannot execute in-process closures; "
+            "submit ShardTask work via submit_task()/run_tasks() instead"
+        )
+
+    def submit_call(self, fn: Callable, *args) -> Future:
+        """Submit an in-process closure, returning its ``Future``.
+
+        Out-of-process backends raise :class:`QueryError` — closures
+        cannot cross the process boundary; describe the work as
+        :class:`ShardTask` objects instead.
+        """
+        if not self.in_process:
+            raise QueryError(
+                f"{type(self).__name__} cannot execute in-process closures; "
+                "submit ShardTask work via submit_task()/run_tasks() instead"
+            )
+        return self._admitted(lambda: self._submit_call(fn, *args))
+
+    # -- batch wrappers (shared across backends) -----------------------
+    def _parallel_limit(self, workers: int | None) -> int | None:
+        """Effective per-call submission window (None = unbounded)."""
+        if workers is not None and workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        return workers
+
+    def _submit_windowed(
+        self, submit: Callable[[object], Future], items: Sequence, limit: int | None
+    ) -> list[Future]:
+        """Submit every item, at most *limit* unresolved at a time."""
+        futures: list[Future | None] = [None] * len(items)
+        if limit is None or limit >= len(items):
+            for position, item in enumerate(items):
+                futures[position] = submit(item)
+            return futures
+        pending: dict[Future, int] = {}
+        position = 0
+        while position < len(items) or pending:
+            while position < len(items) and len(pending) < limit:
+                future = submit(items[position])
+                futures[position] = future
+                pending[future] = position
+                position += 1
+            if pending:
+                done, _not_done = wait(set(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    pending.pop(future)
+        return futures
+
     def run_tasks(
         self, tasks: Sequence[ShardTask], workers: int | None = None
     ) -> list[TaskOutcome]:
         """Execute *tasks*, returning outcomes in submission order."""
+        if not tasks:
+            return []
+        futures = self._submit_windowed(
+            self.submit_task, list(tasks), self._parallel_limit(workers)
+        )
+        return [_outcome_of(future) for future in futures]
 
     def map(
         self,
@@ -305,14 +589,21 @@ class ExecutionBackend(ABC):
         cannot cross the process boundary; describe the work as
         :class:`ShardTask` objects instead.
         """
-        raise QueryError(
-            f"{type(self).__name__} cannot execute in-process closures; "
-            "submit ShardTask work via run_tasks() instead"
+        items = list(items)
+        if not items:
+            return []
+        futures = self._submit_windowed(
+            lambda item: self.submit_call(fn, item), items, self._parallel_limit(workers)
         )
+        return [future.result() for future in futures]
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
-        """Release any pooled resources (idempotent)."""
+        """Release any pooled resources (idempotent).
+
+        A closed backend may be submitted to again: pools are rebuilt
+        lazily on the next submission.
+        """
 
     def __enter__(self) -> "ExecutionBackend":
         return self
@@ -328,24 +619,23 @@ class SerialBackend(ExecutionBackend):
     """Everything in the calling thread — the reference implementation.
 
     Useful as the determinism baseline and for debugging (tracebacks
-    point straight at the failing query).
+    point straight at the failing query).  ``submit_task`` executes the
+    task *during submission* and returns an already-resolved future.
     """
 
     name = "serial"
     in_process = True
 
-    def run_tasks(
-        self, tasks: Sequence[ShardTask], workers: int | None = None
-    ) -> list[TaskOutcome]:
-        return [self._run_one(task) for task in tasks]
+    def _submit(self, task: ShardTask) -> Future:
+        return _completed_future(self._run_one(task))
 
-    def map(
-        self,
-        fn: Callable[[object], object],
-        items: Sequence[object],
-        workers: int | None = None,
-    ) -> list[object]:
-        return [fn(item) for item in items]
+    def _submit_call(self, fn: Callable, *args) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as error:  # noqa: BLE001 - surfaces via future
+            future.set_exception(error)
+        return future
 
 
 class ThreadBackend(ExecutionBackend):
@@ -356,137 +646,346 @@ class ThreadBackend(ExecutionBackend):
     numpy-heavy work, but CPU-bound pure-python search loops still share
     the GIL; see :class:`ProcessBackend` for those.
 
-    Pools are transient per call, sized ``workers`` (argument) falling
-    back to the construction-time default — identical lifecycle to the
-    executor the batch module used to own.
+    The pool is persistent (created lazily at first submission, sized
+    ``workers``) so submitted futures survive between calls — the
+    property the async front-end builds on.  A per-call ``workers``
+    argument on :meth:`run_tasks`/:meth:`map` narrows the submission
+    window below the pool width; it can no longer widen the pool.
     """
 
     name = "thread"
     in_process = True
 
-    def __init__(self, workers: int = DEFAULT_WORKERS) -> None:
-        super().__init__()
+    def __init__(self, workers: int = DEFAULT_WORKERS, max_in_flight: int | None = None) -> None:
+        super().__init__(max_in_flight=max_in_flight)
         if workers < 1:
             raise QueryError(f"thread backend workers must be >= 1, got {workers}")
         self._workers = workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
-    def _effective_workers(self, workers: int | None) -> int:
-        if workers is None:
-            return self._workers
-        if workers < 1:
-            raise QueryError(f"workers must be >= 1, got {workers}")
-        return workers
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._workers,
+                    thread_name_prefix="repro-backend",
+                )
+            return self._executor
 
-    def map(
-        self,
-        fn: Callable[[object], object],
-        items: Sequence[object],
-        workers: int | None = None,
-    ) -> list[object]:
-        effective = self._effective_workers(workers)
-        if effective <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        with ThreadPoolExecutor(max_workers=effective) as pool:
-            return list(pool.map(fn, items))
+    def _parallel_limit(self, workers: int | None) -> int | None:
+        limit = super()._parallel_limit(workers)
+        return limit if limit is not None else self._workers
 
-    def run_tasks(
-        self, tasks: Sequence[ShardTask], workers: int | None = None
-    ) -> list[TaskOutcome]:
-        return self.map(self._run_one, tasks, workers=workers)
+    def _submit(self, task: ShardTask) -> Future:
+        return self._pool().submit(self._run_one, task)
+
+    def _submit_call(self, fn: Callable, *args) -> Future:
+        return self._pool().submit(fn, *args)
+
+    def close(self) -> None:
+        with self._pool_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+@dataclass
+class _Lane:
+    """One warm-pinnable slot of a :class:`ProcessBackend`.
+
+    A lane owns (at most) one single-process executor; ``pending``
+    counts tasks dispatched to it and not yet resolved — the signal the
+    router uses for least-loaded assignment and saturation spill.
+    ``generation`` increments every time the executor is retired, so
+    completions of tasks dispatched to a *previous* executor neither
+    decrement the rebuilt lane's count nor tear the rebuild down again
+    (one dead worker = one fallback, however many tasks it sank).
+    """
+
+    index: int
+    executor: ProcessPoolExecutor | None = None
+    pending: int = 0
+    generation: int = 0
+    #: Shards this lane's current worker has been asked to serve (resets
+    #: when the lane is rebuilt) — a parent-side proxy for which engines
+    #: the worker has warm.
+    seen: set = field(default_factory=set)
 
 
 class ProcessBackend(ExecutionBackend):
-    """``ProcessPoolExecutor`` fan-out over picklable shard handles.
+    """Warm-pinned process fan-out over picklable shard handles.
 
-    The pool is created lazily; its initializer installs every handle
-    registered *so far* into each worker, so registering a new shard
-    after the pool exists retires the old pool (workers would not know
-    the new key) and the next :meth:`run_tasks` builds a fresh one.
-    Engines are materialised worker-side from pre-built parts — workers
-    never repeat the tables/index pre-processing.
+    ``workers`` independent single-process **lanes** are created lazily;
+    each lane's initializer installs every handle registered *so far*,
+    so registering a new shard after a lane exists retires every lane
+    (workers would not know the new key) and the next submission builds
+    fresh ones.  Engines are materialised worker-side from pre-built
+    parts — workers never repeat the tables/index pre-processing — and
+    live in a per-worker LRU bounded by ``max_worker_engine_bytes``.
 
-    ``workers=None`` lets ``concurrent.futures`` size the pool to the
-    machine.  The per-call ``workers`` argument is ignored (a process
-    pool's width is fixed at creation); pass it at construction instead.
+    **Warm-pinning**: the first task for a shard is assigned to the
+    least-loaded lane and the shard is pinned there; later tasks for the
+    same shard prefer the pinned lane, so only that worker pays the
+    engine build.  When the pinned lane's queue runs ``spill_margin``
+    deeper than the least-loaded lane, the task spills to the
+    least-loaded lane instead (a pin *miss* — throughput beats
+    affinity).  A lane whose worker process died is detected at
+    submission or completion, torn down, rebuilt, and the task retried
+    once (a ``dead_worker_fallbacks`` count); the retry prefers the
+    rebuilt pin, whose fresh worker rebuilds the engine on demand.
+
+    ``workers=None`` sizes the lane count to the machine.  The per-call
+    ``workers`` argument of :meth:`run_tasks` is ignored (lane count is
+    fixed at construction).
     """
 
     name = "process"
     in_process = False
 
-    def __init__(self, workers: int | None = None, start_method: str | None = None) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        workers: int | None = None,
+        start_method: str | None = None,
+        max_in_flight: int | None = None,
+        max_worker_engine_bytes: int | None = None,
+        spill_margin: int = DEFAULT_SPILL_MARGIN,
+    ) -> None:
+        super().__init__(max_in_flight=max_in_flight)
         if workers is not None and workers < 1:
             raise QueryError(f"process backend workers must be >= 1, got {workers}")
+        if max_worker_engine_bytes is not None and max_worker_engine_bytes < 0:
+            raise QueryError(
+                f"max_worker_engine_bytes must be >= 0 or None, got {max_worker_engine_bytes}"
+            )
+        if spill_margin < 0:
+            raise QueryError(f"spill_margin must be >= 0, got {spill_margin}")
+        if workers is None:
+            try:
+                workers = len(os.sched_getaffinity(0))
+            except AttributeError:  # non-Linux
+                workers = os.cpu_count() or 1
         self._workers = workers
         self._start_method = start_method
-        self._executor: ProcessPoolExecutor | None = None
+        self._max_worker_engine_bytes = max_worker_engine_bytes
+        self._spill_margin = spill_margin
+        self._route_lock = threading.Lock()
+        self._lanes = [_Lane(index=i) for i in range(workers)]
+        self._pins: dict[str, int] = {}
+        self._pin_counters = {
+            "assignments": 0,
+            "hits": 0,
+            "misses": 0,
+            "dead_worker_fallbacks": 0,
+        }
 
-    def _on_registry_change(self) -> None:
-        # Workers of an existing pool were initialised with a different
-        # handle set; retire the pool so the next run ships the current one.
-        self.close()
+    # -- lane plumbing -------------------------------------------------
+    def _mp_context(self):
+        if self._start_method is None:
+            return None
+        import multiprocessing
 
-    def _pool(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            import multiprocessing
+        return multiprocessing.get_context(self._start_method)
 
-            context = (
-                multiprocessing.get_context(self._start_method)
-                if self._start_method is not None
-                else None
-            )
-            self._executor = ProcessPoolExecutor(
-                max_workers=self._workers,
-                mp_context=context,
+    def _lane_executor_locked(self, lane: _Lane) -> ProcessPoolExecutor:
+        if lane.executor is None:
+            lane.executor = ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=self._mp_context(),
                 initializer=_process_worker_init,
-                initargs=(tuple(self._handles.values()),),
+                initargs=(tuple(self._handles.values()), self._max_worker_engine_bytes),
             )
-        return self._executor
+            lane.seen = set()
+        return lane.executor
 
-    def warm_up(self) -> None:
-        """Start the pool and spawn its worker processes.
+    def _retire_lane(
+        self, lane: _Lane, generation: int | None = None, dead_worker: bool = False
+    ) -> None:
+        """Tear down a lane's executor (rebuilt lazily on next use).
 
-        Submitting a full round of no-ops makes the executor spawn every
-        worker process up front, so a later timed run does not pay
-        process start-up.  Per-shard engine assembly inside each worker
-        is still lazy — warm real engines by running one un-timed batch.
+        ``generation``, when given, makes the retire conditional: if the
+        lane has already moved past that generation (another failure of
+        the same dead worker got here first), this is a no-op — the
+        fresh executor must not be torn down for its predecessor's
+        sins, and one death counts one fallback.
         """
-        pool = self._pool()
-        width = pool._max_workers  # noqa: SLF001 - executor exposes no getter
-        list(pool.map(_worker_ping, range(width)))
+        with self._route_lock:
+            if generation is not None and lane.generation != generation:
+                return
+            executor, lane.executor = lane.executor, None
+            lane.pending = 0
+            lane.seen = set()
+            lane.generation += 1
+            if dead_worker:
+                self._pin_counters["dead_worker_fallbacks"] += 1
+        if executor is not None:
+            # wait=False: a broken pool has nothing orderly left to wait
+            # for, and a healthy one (registry change) drains on its own.
+            executor.shutdown(wait=False)
 
-    def run_tasks(
-        self, tasks: Sequence[ShardTask], workers: int | None = None
-    ) -> list[TaskOutcome]:
-        if not tasks:
-            return []
-        known = set(self._handles)
-        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
-        dispatch: list[tuple[int, ShardTask]] = []
-        for position, task in enumerate(tasks):
-            if task.shard in known:
-                dispatch.append((position, task))
-            else:
-                # Fail fast in the parent: the workers would only echo this.
-                outcomes[position] = self._run_one(task)
-        if dispatch:
-            pool = self._pool()
-            # Chunk to amortise IPC per task while keeping enough chunks
-            # for the pool to balance uneven query costs.
-            chunksize = max(1, len(dispatch) // (pool._max_workers * 4))  # noqa: SLF001
-            remote = pool.map(
-                _process_run_task,
-                [task for _, task in dispatch],
-                chunksize=chunksize,
-            )
-            for (position, _task), outcome in zip(dispatch, remote):
-                outcomes[position] = outcome
-        return outcomes
+    def _route_locked(self, shard: str) -> _Lane:
+        """Pick the lane for one task (caller holds the route lock)."""
+        lanes = self._lanes
+        least = min(lanes, key=lambda lane: (lane.pending, lane.index))
+        pinned_index = self._pins.get(shard)
+        if pinned_index is None:
+            self._pins[shard] = least.index
+            self._pin_counters["assignments"] += 1
+            return least
+        pinned = lanes[pinned_index]
+        if pinned.pending - least.pending > self._spill_margin:
+            # Saturated pin: prefer a lane that has already seen this
+            # shard (its worker likely holds the engine warm) before
+            # paying a cold build on the least-loaded lane.
+            warm = [
+                lane
+                for lane in lanes
+                if shard in lane.seen and pinned.pending - lane.pending > self._spill_margin
+            ]
+            self._pin_counters["misses"] += 1
+            return min(warm, key=lambda lane: (lane.pending, lane.index)) if warm else least
+        self._pin_counters["hits"] += 1
+        return pinned
+
+    # -- registry / lifecycle ------------------------------------------
+    def _on_registry_change(self) -> None:
+        # Workers of existing lanes were initialised with a different
+        # handle set; retire them so the next submission ships the
+        # current one.
+        for lane in self._lanes:
+            self._retire_lane(lane)
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        for lane in self._lanes:
+            with self._route_lock:
+                executor, lane.executor = lane.executor, None
+                lane.pending = 0
+                lane.seen = set()
+                lane.generation += 1
+            if executor is not None:
+                executor.shutdown(wait=True)
+
+    # -- submission ----------------------------------------------------
+    def _submit(self, task: ShardTask) -> Future:
+        if task.shard not in self._handles:
+            # Fail fast in the parent: the workers would only echo this.
+            return _completed_future(
+                TaskOutcome(
+                    error=QueryError(
+                        f"shard {task.shard!r} is not registered with this "
+                        f"ProcessBackend; known shards: {sorted(self._handles)}"
+                    )
+                )
+            )
+        outer: Future = Future()
+        self._dispatch(task, outer, retried=False)
+        return outer
+
+    def _dispatch(self, task: ShardTask, outer: Future, retried: bool) -> None:
+        with self._route_lock:
+            lane = self._route_locked(task.shard)
+            executor = self._lane_executor_locked(lane)
+            generation = lane.generation
+            lane.pending += 1
+            lane.seen.add(task.shard)
+        try:
+            inner = executor.submit(_process_run_task, task)
+        except (BrokenProcessPool, RuntimeError) as error:
+            with self._route_lock:
+                if lane.generation == generation:
+                    lane.pending -= 1
+            if not retried:
+                self._retire_lane(lane, generation=generation, dead_worker=True)
+                self._dispatch(task, outer, retried=True)
+                return
+            _try_resolve(outer, None, error)
+            return
+        inner.add_done_callback(
+            lambda f, task=task, lane=lane, generation=generation: self._finish(
+                task, outer, lane, generation, f, retried
+            )
+        )
+
+    def _finish(
+        self,
+        task: ShardTask,
+        outer: Future,
+        lane: _Lane,
+        generation: int,
+        inner: Future,
+        retried: bool,
+    ) -> None:
+        with self._route_lock:
+            if lane.generation == generation:
+                lane.pending -= 1
+        if inner.cancelled():
+            if not outer.cancel():
+                _try_resolve(
+                    outer,
+                    TaskOutcome(error=QueryError("task was cancelled in the worker pool")),
+                    None,
+                )
+            return
+        error = inner.exception()
+        if isinstance(error, BrokenProcessPool) and not retried:
+            # The lane's worker died under this task: rebuild the lane
+            # (once — sibling victims of the same death find the
+            # generation already moved on) and retry transparently.
+            self._retire_lane(lane, generation=generation, dead_worker=True)
+            self._dispatch(task, outer, retried=True)
+            return
+        if error is not None:
+            _try_resolve(outer, None, error)
+        else:
+            _try_resolve(outer, inner.result(), None)
+
+    def _parallel_limit(self, workers: int | None) -> int | None:
+        # Lane count is fixed at construction; the per-call argument is
+        # accepted for interface compatibility and ignored.
+        return None
+
+    # -- introspection -------------------------------------------------
+    def pin_stats(self) -> dict[str, int]:
+        """Parent-side warm-pinning counters (see class docstring)."""
+        with self._route_lock:
+            return dict(self._pin_counters)
+
+    def worker_stats(self, timeout: float = 60.0) -> dict[int, dict]:
+        """Per-lane worker counters (pid, builds, resident engines,
+        evictions) for every lane whose pool has been started.
+
+        This round-trips a control task through each live lane — cheap,
+        but not free; meant for tests, demos and debugging endpoints.
+        """
+        with self._route_lock:
+            live = [
+                (lane.index, lane.executor)
+                for lane in self._lanes
+                if lane.executor is not None
+            ]
+        stats: dict[int, dict] = {}
+        for index, executor in live:
+            try:
+                stats[index] = executor.submit(_worker_introspect).result(timeout=timeout)
+            except Exception as error:  # noqa: BLE001 - introspection only
+                stats[index] = {"error": f"{type(error).__name__}: {error}"}
+        return stats
+
+    def warm_up(self) -> None:
+        """Start every lane and spawn its worker process.
+
+        Pinging each lane makes it spawn its worker up front, so a later
+        timed run does not pay process start-up.  Per-shard engine
+        assembly inside each worker is still lazy — warm real engines by
+        running one un-timed batch.
+        """
+        pings = []
+        for lane in self._lanes:
+            with self._route_lock:
+                executor = self._lane_executor_locked(lane)
+            pings.append(executor.submit(_worker_ping, lane.index))
+        for ping in pings:
+            ping.result()
 
 
 def backend_from_name(
@@ -500,9 +999,11 @@ def backend_from_name(
     """
     normalized = name.strip().lower()
     if normalized == "serial":
-        return SerialBackend()
+        return SerialBackend(**kwargs)
     if normalized == "thread":
-        return ThreadBackend(workers=workers if workers is not None else DEFAULT_WORKERS)
+        return ThreadBackend(
+            workers=workers if workers is not None else DEFAULT_WORKERS, **kwargs
+        )
     if normalized == "process":
         return ProcessBackend(workers=workers, **kwargs)
     raise QueryError(

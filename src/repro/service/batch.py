@@ -213,12 +213,20 @@ def execute_batch(
     units = dedup_units(items, keys, cache, cacheable, epoch)
 
     if units:
+        owned: ThreadBackend | None = None
         if backend is None:
-            backend = ThreadBackend(DEFAULT_WORKERS)
-        if backend.in_process:
-            _compute_in_process(engine, units, algorithm, params, backend, workers)
-        else:
-            _compute_on_backend(units, algorithm, params, backend, handle, workers)
+            # Pools are persistent now, so a transient default backend
+            # must be closed with the batch — and sized to the call's
+            # workers, preserving the old per-batch pool semantics.
+            backend = owned = ThreadBackend(workers if workers is not None else DEFAULT_WORKERS)
+        try:
+            if backend.in_process:
+                _compute_in_process(engine, units, algorithm, params, backend, workers)
+            else:
+                _compute_on_backend(units, algorithm, params, backend, handle, workers)
+        finally:
+            if owned is not None:
+                owned.close()
 
         shard_key = handle.key if handle is not None else None
         for unit in units:

@@ -1,0 +1,427 @@
+"""``AsyncQueryService`` — the asyncio front door over the serving tier.
+
+The sync services (:class:`~repro.service.service.QueryService`,
+:class:`~repro.service.sharding.ShardedQueryService`) are batch-shaped:
+one caller hands over a list, blocks, and gets a list back.  A server
+talks to *many* callers at once, each holding one query — so this module
+adds the request-shaped tier:
+
+submit → coalesce → micro-batch → scatter
+-----------------------------------------
+``await service.submit(query)`` parks the request in three stages:
+
+1. **coalesce** — requests are keyed by the sync cache's canonical key
+   (:func:`repro.service.cache.canonical_cache_key`); a request whose
+   key is already in flight joins that flight instead of queueing a
+   duplicate (single-flight, counted in ``snapshot().coalesced``);
+2. **micro-batch** — new flights collect for one batching window
+   (``window_seconds``; 0 = the current event-loop tick) or until
+   ``max_batch`` of them are waiting, whichever first;
+3. **scatter** — the collected wave becomes *one*
+   ``service.execute(...)`` call on a worker thread, which reuses
+   everything the sync tier already has: result cache, in-batch dedup,
+   shared candidate sets, and backend fan-out (thread pool, or
+   warm-pinned process lanes).  The wave's report is scattered back to
+   each flight's awaiters.
+
+Per-request **timeouts and cancellation** detach the awaiter
+immediately; when the *last* awaiter of a flight detaches before its
+wave dispatched, the flight is dropped and its shard tasks are never
+submitted — cancellation propagates all the way down to the backend.  A
+wave already running completes in the background (its results still
+land in the sync cache; they were correct when computed), but nothing
+is ever cached *because* of a timeout and nothing about a timeout
+poisons the stats.
+
+Results are byte-identical to the wrapped sync service's — the frontend
+adds scheduling, never semantics (backed by the asyncio differential
+suite in ``tests/service/test_frontend.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.query import KORQuery
+from repro.core.results import KORResult
+from repro.exceptions import QueryError
+from repro.service.batch import batch_keys
+from repro.service.stats import ServiceStats, StatsSnapshot
+
+__all__ = ["AsyncQueryService"]
+
+
+@dataclass
+class _Flight:
+    """One unique in-flight query and everyone awaiting it."""
+
+    query: KORQuery
+    algorithm: str
+    params: tuple[tuple[str, object], ...]
+    key: Hashable | None
+    future: asyncio.Future
+    waiters: int = 0
+    dispatched: bool = False
+    abandoned: bool = False
+
+    @property
+    def wave_key(self) -> tuple:
+        """Flights sharing this key can ride one ``execute`` call.
+
+        Uncoalescable flights (no canonical key: uncacheable or
+        unhashable params, e.g. a caller-owned ``trace`` sink) ride
+        solo — their params are caller state a wave must not share.
+        """
+        if self.key is None:
+            return ("solo", id(self))
+        return (self.algorithm, self.params)
+
+
+@dataclass
+class _WaveStats:
+    """Counters the front-end keeps about its own scheduling."""
+
+    requests: int = 0
+    flights: int = 0
+    waves: int = 0
+    abandoned_flights: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "flights": self.flights,
+            "waves": self.waves,
+            "abandoned_flights": self.abandoned_flights,
+        }
+
+
+class AsyncQueryService:
+    """Awaitable facade over a sync ``QueryService``-shaped service.
+
+    Parameters
+    ----------
+    service:
+        Any object with the sync serving contract — ``execute(queries,
+        algorithm=..., **params) -> BatchReport`` plus ``snapshot()``
+        (both :class:`~repro.service.service.QueryService` and
+        :class:`~repro.service.sharding.ShardedQueryService` qualify).
+        The frontend *wraps* it; it does not own the underlying
+        backend's lifecycle unless :meth:`close` is asked to.
+    window_seconds:
+        Micro-batching window.  ``0.0`` (default) flushes on the next
+        event-loop tick, which already aggregates every awaiter that
+        arrived in the same scheduling burst; a positive value trades
+        that much latency for bigger waves.
+    max_batch:
+        Flush early once this many distinct flights are queued.
+    executor:
+        Where the blocking ``service.execute`` waves run; ``None`` uses
+        the event loop's default thread pool.
+    close_service:
+        Whether :meth:`close` also closes the wrapped sync service
+        (only meaningful for services owning their backend).
+    """
+
+    def __init__(
+        self,
+        service,
+        window_seconds: float = 0.0,
+        max_batch: int = 64,
+        executor=None,
+        close_service: bool = False,
+    ) -> None:
+        if window_seconds < 0.0:
+            raise QueryError(f"window_seconds must be >= 0, got {window_seconds}")
+        if max_batch < 1:
+            raise QueryError(f"max_batch must be >= 1, got {max_batch}")
+        self._service = service
+        self._window = window_seconds
+        self._max_batch = max_batch
+        self._executor = executor
+        self._close_service = close_service
+        self._pending: dict[Hashable, _Flight] = {}
+        self._queue: list[_Flight] = []
+        self._flush_handle: asyncio.TimerHandle | asyncio.Handle | None = None
+        self._waves: set[asyncio.Task] = set()
+        self._stats = ServiceStats()
+        self._wave_stats = _WaveStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def service(self):
+        """The wrapped sync service."""
+        return self._service
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Front-end metrics (latency as awaiters saw it, coalescing,
+        timeouts, queue depth).  The wrapped service keeps its own."""
+        return self._stats
+
+    def snapshot(self) -> StatsSnapshot:
+        """Frozen front-end metrics (see :attr:`stats`)."""
+        return self._stats.snapshot()
+
+    def scheduling_stats(self) -> dict:
+        """Wave-level accounting: requests vs flights vs execute waves."""
+        return self._wave_stats.as_dict()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def query(
+        self,
+        source: int,
+        target: int,
+        keywords: Iterable[str],
+        budget_limit: float,
+        algorithm: str = "bucketbound",
+        timeout: float | None = None,
+        **params,
+    ) -> KORResult:
+        """Answer one KOR query (mirrors the sync ``service.query``)."""
+        return await self.submit(
+            KORQuery(source, target, tuple(keywords), budget_limit),
+            algorithm=algorithm,
+            timeout=timeout,
+            **params,
+        )
+
+    async def submit(
+        self,
+        query: KORQuery,
+        algorithm: str = "bucketbound",
+        timeout: float | None = None,
+        **params,
+    ) -> KORResult:
+        """Answer *query*, awaiting the micro-batched serving pipeline.
+
+        Identical concurrent submissions share one flight; distinct
+        concurrent submissions share one ``execute`` wave.  ``timeout``
+        (seconds) raises :class:`asyncio.TimeoutError` for *this*
+        awaiter only — see the module docstring for what the shared
+        flight does afterwards.
+        """
+        if self._closed:
+            raise QueryError("AsyncQueryService is closed")
+        begin = time.perf_counter()
+        self._wave_stats.requests += 1
+        flight, joined = self._enlist(query, algorithm, params)
+        flight.waiters += 1
+        self._stats.record_queue_depth(len(self._pending) + len(self._waves))
+        try:
+            if timeout is None:
+                result = await asyncio.shield(flight.future)
+            else:
+                result = await asyncio.wait_for(asyncio.shield(flight.future), timeout)
+        except asyncio.TimeoutError as error:
+            future = flight.future
+            if future.done() and not future.cancelled() and future.exception() is error:
+                # The *wave* failed with a TimeoutError (asyncio's alias
+                # of the builtin on 3.11+): that is a serving error the
+                # flight delivered, not this awaiter's clock expiring.
+                flight.waiters -= 1
+                self._stats.record_error()
+                self._stats.record_busy(time.perf_counter() - begin)
+                raise
+            self._detach(flight)
+            self._stats.record_timeout()
+            self._stats.record_busy(time.perf_counter() - begin)
+            raise
+        except asyncio.CancelledError:
+            self._detach(flight)
+            raise
+        except Exception:
+            elapsed = time.perf_counter() - begin
+            flight.waiters -= 1
+            self._stats.record_error()
+            self._stats.record_busy(elapsed)
+            raise
+        elapsed = time.perf_counter() - begin
+        flight.waiters -= 1
+        # "cached" at the front-end means "this awaiter rode someone
+        # else's flight"; the sync tier's own hit rate lives in the
+        # wrapped service's snapshot.
+        self._stats.record_query(elapsed, cached=joined)
+        self._stats.record_busy(elapsed)
+        return result
+
+    async def run_batch(
+        self,
+        queries: Sequence[KORQuery],
+        algorithm: str = "bucketbound",
+        timeout: float | None = None,
+        **params,
+    ) -> list[KORResult]:
+        """Await every query concurrently (one coalesced wave or few).
+
+        Unlike the sync ``run_batch`` this is just ``asyncio.gather``
+        over :meth:`submit` — duplicates coalesce, the batch rides the
+        micro-batching window, and one failing query raises its own
+        exception out of the gather.
+        """
+        return list(
+            await asyncio.gather(
+                *(
+                    self.submit(query, algorithm=algorithm, timeout=timeout, **params)
+                    for query in queries
+                )
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _enlist(
+        self, query: KORQuery, algorithm: str, params: dict
+    ) -> tuple[_Flight, bool]:
+        """The live flight for this request (joined=True), or a new one."""
+        # batch_keys owns the cacheability rules (uncacheable params,
+        # unhashable values): the coalescing key IS the sync cache key.
+        _cacheable, (key,) = batch_keys([query], algorithm, params)
+        if key is not None:
+            live = self._pending.get(key)
+            if live is not None and not live.future.done():
+                self._stats.record_coalesced()
+                return live, True
+        loop = asyncio.get_running_loop()
+        flight = _Flight(
+            query=query,
+            algorithm=algorithm,
+            params=tuple(sorted(params.items())),
+            key=key,
+            future=loop.create_future(),
+        )
+        self._wave_stats.flights += 1
+        if key is not None:
+            self._pending[key] = flight
+        self._queue.append(flight)
+        self._arm_flush(loop)
+        return flight, False
+
+    def _arm_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if len(self._queue) >= self._max_batch:
+            if self._flush_handle is not None:
+                self._flush_handle.cancel()
+                self._flush_handle = None
+            self._flush()
+            return
+        if self._flush_handle is None:
+            if self._window > 0.0:
+                self._flush_handle = loop.call_later(self._window, self._flush)
+            else:
+                self._flush_handle = loop.call_soon(self._flush)
+
+    def _detach(self, flight: _Flight) -> None:
+        """One awaiter gave up; drop the flight if it was the last."""
+        flight.waiters -= 1
+        if flight.waiters <= 0 and not flight.dispatched and not flight.abandoned:
+            flight.abandoned = True
+            self._wave_stats.abandoned_flights += 1
+            if flight.key is not None and self._pending.get(flight.key) is flight:
+                del self._pending[flight.key]
+            if not flight.future.done():
+                flight.future.cancel()
+
+    def _flush(self) -> None:
+        """Dispatch everything queued as per-(algorithm, params) waves."""
+        self._flush_handle = None
+        queued, self._queue = self._queue, []
+        live = [flight for flight in queued if not flight.abandoned]
+        if not live:
+            return
+        loop = asyncio.get_running_loop()
+        waves: dict[tuple, list[_Flight]] = {}
+        for flight in live:
+            flight.dispatched = True
+            waves.setdefault(flight.wave_key, []).append(flight)
+        for flights in waves.values():
+            self._wave_stats.waves += 1
+            task = loop.create_task(self._run_wave(flights))
+            self._waves.add(task)
+            task.add_done_callback(self._waves.discard)
+
+    async def _run_wave(self, flights: list[_Flight]) -> None:
+        """One blocking ``execute`` call, scattered back to its flights."""
+        algorithm = flights[0].algorithm
+        params = dict(flights[0].params)
+        loop = asyncio.get_running_loop()
+        try:
+            report = await loop.run_in_executor(
+                self._executor,
+                partial(
+                    self._service.execute,
+                    [flight.query for flight in flights],
+                    algorithm=algorithm,
+                    **params,
+                ),
+            )
+        except Exception as error:  # noqa: BLE001 - delivered per flight
+            for flight in flights:
+                self._deliver(flight, None, error)
+        else:
+            for flight, item in zip(flights, report.items):
+                self._deliver(flight, item.result, item.error)
+        finally:
+            for flight in flights:
+                if flight.key is not None and self._pending.get(flight.key) is flight:
+                    del self._pending[flight.key]
+
+    def _deliver(
+        self, flight: _Flight, result: KORResult | None, error: Exception | None
+    ) -> None:
+        future = flight.future
+        if future.done():
+            return
+        if flight.waiters <= 0:
+            # Every awaiter timed out after dispatch: cancelling beats
+            # parking an exception nobody will ever retrieve.
+            future.cancel()
+        elif error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Stop admitting, flush nothing new, and drain in-flight waves.
+
+        Queued-but-undispatched flights are cancelled (their awaiters
+        see :class:`asyncio.CancelledError`); waves already running are
+        awaited so the wrapped service is quiescent on return.  With
+        ``close_service=True`` the wrapped sync service's ``close()``
+        (when it has one) is called too.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        queued, self._queue = self._queue, []
+        for flight in queued:
+            if flight.key is not None and self._pending.get(flight.key) is flight:
+                del self._pending[flight.key]
+            if not flight.future.done():
+                flight.future.cancel()
+        if self._waves:
+            await asyncio.gather(*tuple(self._waves), return_exceptions=True)
+        if self._close_service:
+            close = getattr(self._service, "close", None)
+            if callable(close):
+                close()
+
+    async def __aenter__(self) -> "AsyncQueryService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

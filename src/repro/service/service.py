@@ -111,8 +111,22 @@ class QueryService:
         return self._stats
 
     def snapshot(self) -> StatsSnapshot:
-        """Shorthand for ``service.stats.snapshot()``."""
-        return self._stats.snapshot()
+        """One frozen view of the serving story.
+
+        Beyond the raw :class:`ServiceStats` aggregates this folds in
+        the backend's live submission accounting (``queue_depth_peak``)
+        and, for a warm-pinned process backend, its pin counters
+        (``pinning``).
+        """
+        backend = self._backend
+        pinning = None
+        queue_depth = None
+        if backend is not None:
+            queue_depth = backend.peak_in_flight
+            pin_stats = getattr(backend, "pin_stats", None)
+            if callable(pin_stats):
+                pinning = pin_stats()
+        return self._stats.snapshot(pinning=pinning, queue_depth_peak=queue_depth)
 
     # ------------------------------------------------------------------
     # engine lifecycle
@@ -165,28 +179,36 @@ class QueryService:
         in both directions but still feed the metrics.  Single queries
         always compute in the calling thread — backends only pay off on
         batches.
+
+        Cacheable misses are **single-flight protected**: concurrent
+        submissions of the same canonical key fold into one engine run
+        (see :meth:`repro.service.cache.ResultCache.get_or_compute`);
+        the waiters count as coalesced cache-served queries.
         """
         begin = time.perf_counter()
         cacheable = not (UNCACHEABLE_PARAMS & params.keys())
         key = canonical_cache_key(query, algorithm, params) if cacheable else None
         epoch = self._cache.epoch if cacheable else None
-        if cacheable:
-            hit = self._cache.get(key, epoch=epoch)
-            if hit is not None:
-                elapsed = time.perf_counter() - begin
-                self._stats.record_query(elapsed, cached=True)
-                self._stats.record_busy(elapsed)
-                return hit
         try:
-            result = self._engine.run(query, algorithm=algorithm, **params)
+            if cacheable:
+                result, how = self._cache.get_or_compute(
+                    key,
+                    lambda: self._engine.run(query, algorithm=algorithm, **params),
+                    epoch=epoch,
+                )
+            else:
+                result, how = (
+                    self._engine.run(query, algorithm=algorithm, **params),
+                    "computed",
+                )
         except Exception:
             self._stats.record_error()
             self._stats.record_busy(time.perf_counter() - begin)
             raise
-        if cacheable:
-            self._cache.put(key, result, epoch=epoch)
         elapsed = time.perf_counter() - begin
-        self._stats.record_query(elapsed, cached=False)
+        if how == "coalesced":
+            self._stats.record_coalesced()
+        self._stats.record_query(elapsed, cached=how != "computed")
         self._stats.record_busy(elapsed)
         return result
 

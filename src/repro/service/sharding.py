@@ -277,8 +277,17 @@ class ShardedQueryService:
         return self._stats
 
     def snapshot(self) -> StatsSnapshot:
-        """Shorthand for ``service.stats.snapshot()``."""
-        return self._stats.snapshot()
+        """One frozen view of the serving story.
+
+        Folds in the backend's submission accounting
+        (``queue_depth_peak``) and, for a warm-pinned process backend,
+        its pin counters (``pinning``).
+        """
+        pin_stats = getattr(self._backend, "pin_stats", None)
+        pinning = pin_stats() if callable(pin_stats) else None
+        return self._stats.snapshot(
+            pinning=pinning, queue_depth_peak=self._backend.peak_in_flight
+        )
 
     def memory_bytes(self) -> int:
         """Bytes of cost-table state resident in this service.
@@ -422,12 +431,36 @@ class ShardedQueryService:
     def submit(
         self, query: KORQuery, algorithm: str = "bucketbound", **params
     ) -> KORResult:
-        """Answer a pre-built query (a batch of one, sharing all paths)."""
-        report = self.execute([query], algorithm=algorithm, **params)
-        item = report.items[0]
-        if item.error is not None:
-            raise item.error
-        return item.result
+        """Answer a pre-built query (a batch of one, sharing all paths).
+
+        Cacheable submissions are single-flight protected: concurrent
+        identical misses fold into one scatter wave, with the waiters
+        served the leader's (already cached, already global-id) result.
+        """
+        begin = time.perf_counter()
+        cacheable, keys = batch_keys([query], algorithm, dict(params))
+
+        def compute() -> KORResult:
+            report = self.execute([query], algorithm=algorithm, **params)
+            item = report.items[0]
+            if item.error is not None:
+                raise item.error
+            return item.result
+
+        if not cacheable:
+            return compute()
+        # store=False: the leader's execute() already wrote the cache
+        # (epoch-guarded) — get_or_compute only adds the coalescing.
+        result, how = self._cache.get_or_compute(keys[0], compute, store=False)
+        if how != "computed":
+            # The leader's stats were recorded inside execute(); hits
+            # and coalesced waiters are accounted here instead.
+            elapsed = time.perf_counter() - begin
+            if how == "coalesced":
+                self._stats.record_coalesced()
+            self._stats.record_query(elapsed, cached=True)
+            self._stats.record_busy(elapsed)
+        return result
 
     # ------------------------------------------------------------------
     # batches

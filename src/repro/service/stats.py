@@ -11,6 +11,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Mapping
 
 __all__ = ["ServiceStats", "StatsSnapshot", "percentile"]
 
@@ -56,6 +57,18 @@ class StatsSnapshot:
     #: cross-cell assembly (``crosscell``), proven infeasible
     #: (``infeasible``) or failed outright (``error``).
     merge_wins: dict = field(default_factory=dict)
+    #: Requests served by coalescing onto another caller's in-flight
+    #: computation (single-flight) instead of computing themselves.
+    coalesced: int = 0
+    #: Requests that gave up waiting (async per-request timeouts).
+    timeouts: int = 0
+    #: Deepest submission queue observed (in-flight backend tasks or
+    #: pending async requests, whichever the recorder measures).
+    queue_depth_peak: int = 0
+    #: Warm-pinning counters of a pinned process backend (``hits`` /
+    #: ``misses`` / ``assignments`` / ``dead_worker_fallbacks``); empty
+    #: for in-process backends, which have nothing to pin.
+    pinning: dict = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -92,6 +105,15 @@ class StatsSnapshot:
                 f"{winner}={count}" for winner, count in sorted(self.merge_wins.items())
             )
             line += f"; merge wins: {wins}"
+        if self.coalesced or self.timeouts:
+            line += f"; coalesced {self.coalesced}, timeouts {self.timeouts}"
+        if self.queue_depth_peak:
+            line += f"; peak queue depth {self.queue_depth_peak}"
+        if self.pinning:
+            pins = ", ".join(
+                f"{name}={count}" for name, count in sorted(self.pinning.items())
+            )
+            line += f"; pinning: {pins}"
         return line
 
 
@@ -121,6 +143,9 @@ class ServiceStats:
         self._shard_tasks: dict[str, int] = {}
         self._shard_errors: dict[str, int] = {}
         self._merge_wins: dict[str, int] = {}
+        self._coalesced = 0
+        self._timeouts = 0
+        self._queue_depth_peak = 0
 
     def record_query(self, latency_seconds: float, cached: bool) -> None:
         """One answered query (hit or computed)."""
@@ -160,8 +185,35 @@ class ServiceStats:
         with self._lock:
             self._merge_wins[winner] = self._merge_wins.get(winner, 0) + 1
 
-    def snapshot(self) -> StatsSnapshot:
-        """Freeze the current aggregates (percentiles over the window)."""
+    def record_coalesced(self, count: int = 1) -> None:
+        """Account *count* requests served off another's computation."""
+        with self._lock:
+            self._coalesced += count
+
+    def record_timeout(self) -> None:
+        """Account one request that stopped waiting for its answer."""
+        with self._lock:
+            self._timeouts += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Track the deepest submission queue seen so far."""
+        with self._lock:
+            if depth > self._queue_depth_peak:
+                self._queue_depth_peak = depth
+
+    def snapshot(
+        self,
+        pinning: Mapping[str, int] | None = None,
+        queue_depth_peak: int | None = None,
+    ) -> StatsSnapshot:
+        """Freeze the current aggregates (percentiles over the window).
+
+        ``pinning`` and ``queue_depth_peak``, when given, are *live*
+        backend readings folded into the returned snapshot only — the
+        accumulator itself is not mutated, so :meth:`reset` semantics
+        stay intact for the service's own counters.  (A backend's peak
+        is backend-lifetime; resetting the service cannot rewind it.)
+        """
         with self._lock:
             latencies = list(self._latencies)
             return StatsSnapshot(
@@ -178,6 +230,12 @@ class ServiceStats:
                 shard_tasks=dict(self._shard_tasks),
                 shard_errors=dict(self._shard_errors),
                 merge_wins=dict(self._merge_wins),
+                coalesced=self._coalesced,
+                timeouts=self._timeouts,
+                queue_depth_peak=max(
+                    self._queue_depth_peak, queue_depth_peak or 0
+                ),
+                pinning=dict(pinning) if pinning else {},
             )
 
     def reset(self) -> None:
@@ -192,3 +250,6 @@ class ServiceStats:
             self._shard_tasks.clear()
             self._shard_errors.clear()
             self._merge_wins.clear()
+            self._coalesced = 0
+            self._timeouts = 0
+            self._queue_depth_peak = 0

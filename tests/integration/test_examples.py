@@ -34,3 +34,11 @@ class TestExamples:
         output = run_example("topk_route_search.py")
         assert "#1: OS=4.00" in output  # Figure-1 optimum leads the list
         assert "bucketbound top-3" in output
+
+    def test_async_demo(self):
+        output = run_example("async_demo.py")
+        assert "async front-end" in output
+        assert "execute wave(s)" in output
+        assert "coalesced" in output
+        assert "impatient client timed out" in output
+        assert "sharded async burst" in output

@@ -1,0 +1,241 @@
+"""Single-flight miss protection in the sync services.
+
+Concurrent identical misses used to all compute; now exactly one caller
+per canonical key runs the engine while the rest wait for its result —
+the same coalescing key (and counter surface) the async front-end uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.service import QueryService, ResultCache, ShardedQueryService
+
+from tests.service.test_differential import fingerprint, random_instance
+
+
+class CountingEngine:
+    """Engine proxy that counts (and can delay) ``run`` calls."""
+
+    def __init__(self, engine, delay_seconds: float = 0.0):
+        self._engine = engine
+        self._delay = delay_seconds
+        self._lock = threading.Lock()
+        self.runs = 0
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def run(self, *args, **kwargs):
+        with self._lock:
+            self.runs += 1
+        if self._delay:
+            time.sleep(self._delay)
+        return self._engine.run(*args, **kwargs)
+
+
+def hammer(fn, threads: int):
+    """Run *fn* from *threads* threads at once; return results/errors."""
+    barrier = threading.Barrier(threads)
+    results: list = [None] * threads
+    errors: list = [None] * threads
+
+    def body(slot: int) -> None:
+        barrier.wait()
+        try:
+            results[slot] = fn()
+        except Exception as error:  # noqa: BLE001 - inspected by the test
+            errors[slot] = error
+
+    workers = [threading.Thread(target=body, args=(slot,)) for slot in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=30.0)
+    return results, errors
+
+
+class TestResultCacheGetOrCompute:
+    def test_concurrent_identical_misses_compute_once(self):
+        cache = ResultCache(capacity=16)
+        calls = []
+        gate = threading.Event()
+
+        def compute():
+            calls.append(1)
+            gate.wait(5.0)
+            return object()
+
+        def one():
+            # Release the leader once everyone is inside get_or_compute.
+            threading.Timer(0.05, gate.set).start()
+            return cache.get_or_compute("key", compute)
+
+        results, errors = hammer(one, threads=6)
+        assert not any(errors)
+        assert len(calls) == 1
+        values = {id(result[0]) for result in results}
+        assert len(values) == 1  # everyone got the same object
+        hows = sorted(result[1] for result in results)
+        assert hows.count("computed") == 1
+        assert hows.count("coalesced") == 5
+        assert cache.stats.coalesced == 5
+
+    def test_leader_error_propagates_and_nothing_is_cached(self):
+        cache = ResultCache(capacity=16)
+        boom = QueryError("boom")
+
+        def compute():
+            time.sleep(0.05)
+            raise boom
+
+        results, errors = hammer(lambda: cache.get_or_compute("key", compute), threads=4)
+        assert all(result is None for result in results)
+        assert all(error is boom for error in errors)
+        assert len(cache) == 0
+        # A later call recomputes (the failed flight is gone).
+        recovered = cache.get_or_compute("key", lambda: ("ok", 1))
+        assert recovered == (("ok", 1), "computed")
+
+    def test_hit_path_skips_the_flight_table(self):
+        cache = ResultCache(capacity=16)
+        cache.put("key", "value")
+        result, how = cache.get_or_compute("key", lambda: pytest.fail("must not compute"))
+        assert (result, how) == ("value", "hit")
+
+    def test_store_false_coalesces_without_writing(self):
+        cache = ResultCache(capacity=16)
+        result, how = cache.get_or_compute("key", lambda: "computed-value", store=False)
+        assert (result, how) == ("computed-value", "computed")
+        assert "key" not in cache
+
+    def test_invalidate_mid_flight_stops_new_coalescing(self):
+        """A caller arriving after invalidate() must not be handed a
+        computation that started against the retired engine."""
+        cache = ResultCache(capacity=16)
+        leader_started = threading.Event()
+        leader_gate = threading.Event()
+
+        def slow_compute():
+            leader_started.set()
+            leader_gate.wait(10.0)
+            return "old-engine-result"
+
+        leader_box: list = []
+        leader = threading.Thread(
+            target=lambda: leader_box.append(cache.get_or_compute("key", slow_compute))
+        )
+        leader.start()
+        assert leader_started.wait(5.0)
+
+        cache.invalidate()  # the engine was swapped while the leader runs
+        # A post-invalidate caller starts its own flight instead of
+        # coalescing onto the old-engine computation.
+        fresh = cache.get_or_compute("key", lambda: "new-engine-result")
+        assert fresh == ("new-engine-result", "computed")
+
+        leader_gate.set()
+        leader.join(timeout=10.0)
+        assert leader_box == [("old-engine-result", "computed")]
+        assert cache.stats.coalesced == 0
+
+    def test_epoch_guard_drops_stale_write_but_serves_result(self):
+        cache = ResultCache(capacity=16)
+        epoch = cache.epoch
+
+        def compute():
+            cache.invalidate()  # the engine was swapped mid-computation
+            return "stale-but-correct-for-the-caller"
+
+        result, how = cache.get_or_compute("key", compute, epoch=epoch)
+        assert result == "stale-but-correct-for-the-caller"
+        assert how == "computed"
+        assert "key" not in cache  # the epoch guard dropped the write
+        assert cache.stats.stale_writes == 1
+
+
+class TestServiceSingleFlight:
+    def test_flat_service_concurrent_submits_run_engine_once(self):
+        engine, queries = random_instance(0)
+        counting = CountingEngine(engine, delay_seconds=0.05)
+        service = QueryService(counting, cache_capacity=64)
+        n = 6
+
+        results, errors = hammer(
+            lambda: service.submit(queries[0], algorithm="bucketbound"), threads=n
+        )
+        assert not any(errors)
+        assert counting.runs == 1
+        assert all(result is results[0] for result in results)
+        snapshot = service.snapshot()
+        assert snapshot.coalesced == n - 1
+        assert snapshot.cache_misses == 1
+        assert snapshot.cache_hits == n - 1
+        assert service.cache.stats.coalesced == n - 1
+        # Differential sanity: the shared answer is the engine's answer.
+        assert fingerprint(results[0]) == fingerprint(
+            engine.run(queries[0], algorithm="bucketbound")
+        )
+
+    def test_flat_service_error_does_not_poison_followups(self):
+        engine, queries = random_instance(0)
+        from repro.core.query import KORQuery
+
+        bad = KORQuery(engine.graph.num_nodes + 7, 0, (), 4.0)
+        service = QueryService(engine, cache_capacity=64)
+        results, errors = hammer(
+            lambda: service.submit(bad, algorithm="bucketbound"), threads=3
+        )
+        assert all(result is None for result in results)
+        assert all(isinstance(error, QueryError) for error in errors)
+        assert len(service.cache) == 0
+        good = service.submit(queries[0], algorithm="bucketbound")
+        assert fingerprint(good) == fingerprint(
+            engine.run(queries[0], algorithm="bucketbound")
+        )
+
+    def test_sharded_service_concurrent_submits_share_one_wave(self):
+        engine, queries = random_instance(1)
+        service = ShardedQueryService(
+            engine.graph, num_cells=min(2, engine.graph.num_nodes), seed=4
+        )
+        try:
+            n = 6
+            results, errors = hammer(
+                lambda: service.submit(queries[0], algorithm="bucketbound"), threads=n
+            )
+            assert not any(errors)
+            assert all(result is results[0] for result in results)
+            snapshot = service.snapshot()
+            # The hard guarantee: one scatter wave total (at most one
+            # task per attempt kind) — nothing recomputed, whether a
+            # waiter coalesced onto the flight or arrived just after it
+            # landed and hit the cache (both are timing-dependent).
+            assert sum(snapshot.shard_tasks.values()) <= 2
+            assert snapshot.cache_misses == 1
+            assert snapshot.cache_hits == n - 1
+            assert fingerprint(results[0]) == fingerprint(
+                service.submit(queries[0], algorithm="bucketbound")
+            )
+        finally:
+            service.close()
+
+    def test_distinct_keys_do_not_coalesce(self):
+        engine, queries = random_instance(2)
+        counting = CountingEngine(engine)
+        service = QueryService(counting, cache_capacity=64)
+        distinct = [q for q in queries[:4]]
+        results, errors = hammer(
+            lambda: [
+                service.submit(query, algorithm="bucketbound") for query in distinct
+            ],
+            threads=2,
+        )
+        assert not any(errors)
+        # Every distinct key computed at least once, at most once per
+        # key (coalescing or cache hits absorb the second thread).
+        assert counting.runs == len(set(distinct))
