@@ -1,0 +1,372 @@
+"""Open-loop Poisson load generator for the KOR HTTP serving tier.
+
+Replays a dataset query set against the network front door at a
+configurable Poisson arrival rate and reports what the *client* saw:
+p50/p95/p99 latency, achieved vs offered qps, and the SLO error budget —
+to stdout plus optional JSON and markdown artifacts (the shape CI
+uploads, in the spirit of experiment-report artifacts).
+
+Open loop means arrivals are scheduled by the Poisson clock alone —
+request ``i`` fires at its scheduled instant whether or not earlier
+requests completed, and latency is measured **from the scheduled
+arrival**, so server-side queueing shows up in the percentiles instead
+of silently slowing the offered load (no coordinated omission).
+
+Transports:
+
+* ``--transport stdlib`` (default) boots a
+  :class:`repro.server.stdlib.StdlibServer` in-process and talks real
+  HTTP/1.1 over sockets;
+* ``--transport asgi`` drives the :class:`repro.server.app.KORApp`
+  callable directly — the serving stack without kernel networking;
+* ``--url http://host:port`` skips booting anything and load-tests an
+  already-running server.
+
+Every 200 response is checked against ``kor.route_result.v1``
+(:func:`repro.server.schema.validate_route_result`); schema violations
+are counted separately from transport and HTTP errors, and the CI smoke
+job asserts that count is zero.
+
+Examples::
+
+    python benchmarks/loadgen.py --rate 50 --duration 5 --slo-ms 100
+    python benchmarks/loadgen.py --transport asgi --rate 200 --adaptive-target 8
+    python benchmarks/loadgen.py --url http://127.0.0.1:8080 --rate 25 \
+        --json load_report.json --markdown load_report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.workloads import flickr_workload, road_workload, road_default_size
+from repro.server.client import asgi_request, http_request
+from repro.server.schema import validate_route_result
+from repro.service.stats import percentile
+
+__all__ = ["run_load", "build_report", "render_markdown", "main"]
+
+
+def _query_payload(query, algorithm: str) -> dict:
+    return {
+        "source": query.source,
+        "target": query.target,
+        "keywords": list(query.keywords),
+        "budget_limit": query.budget_limit,
+        "algorithm": algorithm,
+    }
+
+
+async def _fire(send, payload: dict, at: float, outcome: dict, timeout: float) -> None:
+    """One scheduled arrival: wait for its instant, send, classify."""
+    delay = at - time.perf_counter()
+    if delay > 0:
+        await asyncio.sleep(delay)
+    try:
+        response = await asyncio.wait_for(send(payload), timeout)
+    except asyncio.TimeoutError:
+        outcome["timeout_errors"] += 1
+        return
+    except Exception:  # noqa: BLE001 - load tool: classify, keep going
+        outcome["transport_errors"] += 1
+        return
+    latency = time.perf_counter() - at
+    if response.status != 200:
+        outcome["http_errors"] += 1
+        return
+    try:
+        validate_route_result(response.json())
+    except Exception:  # noqa: BLE001 - any parse/schema failure counts
+        outcome["schema_errors"] += 1
+        return
+    outcome["latencies"].append(latency)
+
+
+async def run_load(
+    send,
+    queries,
+    rate_qps: float,
+    duration_seconds: float,
+    algorithm: str = "bucketbound",
+    seed: int = 0,
+    request_timeout: float = 30.0,
+    max_requests: int | None = None,
+) -> dict:
+    """Drive *send* with a Poisson arrival process; return raw outcomes.
+
+    ``send`` is ``async payload -> HTTPResponse``.  Arrival instants are
+    drawn up front from ``Expovariate(rate)`` and every request is its
+    own task pinned to its instant — completions never gate arrivals.
+    """
+    if rate_qps <= 0:
+        raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
+    if duration_seconds <= 0:
+        raise ValueError(f"duration_seconds must be > 0, got {duration_seconds}")
+    if not queries:
+        raise ValueError("need at least one query to replay")
+    rng = random.Random(seed)
+    offsets: list[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_qps)
+        if t >= duration_seconds:
+            break
+        offsets.append(t)
+        if max_requests is not None and len(offsets) >= max_requests:
+            break
+    outcome = {
+        "latencies": [],
+        "http_errors": 0,
+        "schema_errors": 0,
+        "timeout_errors": 0,
+        "transport_errors": 0,
+    }
+    start = time.perf_counter()
+    tasks = [
+        asyncio.create_task(
+            _fire(
+                send,
+                _query_payload(queries[i % len(queries)], algorithm),
+                start + offset,
+                outcome,
+                request_timeout,
+            )
+        )
+        for i, offset in enumerate(offsets)
+    ]
+    if tasks:
+        await asyncio.gather(*tasks)
+    outcome["offered_requests"] = len(tasks)
+    outcome["elapsed_seconds"] = max(time.perf_counter() - start, 1e-9)
+    return outcome
+
+
+def build_report(
+    outcome: dict,
+    rate_qps: float,
+    slo_seconds: float,
+    error_budget: float = 0.01,
+    meta: dict | None = None,
+) -> dict:
+    """Aggregate raw outcomes into the JSON report artifact."""
+    latencies = outcome["latencies"]
+    completed = len(latencies)
+    errors = {
+        key: outcome[key]
+        for key in ("http_errors", "schema_errors", "timeout_errors", "transport_errors")
+    }
+    violations = sum(1 for latency in latencies if latency > slo_seconds)
+    violation_rate = violations / completed if completed else 0.0
+    return {
+        "schema": "kor.load_report.v1",
+        "meta": meta or {},
+        "offered": {
+            "rate_qps": rate_qps,
+            "requests": outcome["offered_requests"],
+        },
+        "achieved": {
+            "completed": completed,
+            "qps": completed / outcome["elapsed_seconds"],
+            "elapsed_seconds": outcome["elapsed_seconds"],
+        },
+        "errors": {**errors, "total": sum(errors.values())},
+        "latency_ms": {
+            "p50": 1000.0 * percentile(latencies, 50.0),
+            "p95": 1000.0 * percentile(latencies, 95.0),
+            "p99": 1000.0 * percentile(latencies, 99.0),
+            "mean": 1000.0 * (sum(latencies) / completed) if completed else 0.0,
+            "max": 1000.0 * max(latencies) if completed else 0.0,
+        },
+        "slo": {
+            "slo_ms": 1000.0 * slo_seconds,
+            "violations": violations,
+            "violation_rate": violation_rate,
+            "error_budget": error_budget,
+            # 1.0 = the whole budget is spent; >1.0 = in violation.
+            "budget_used": violation_rate / error_budget if error_budget > 0 else 0.0,
+        },
+    }
+
+
+def render_markdown(report: dict) -> str:
+    """The report as a small markdown artifact (CI-friendly)."""
+    latency = report["latency_ms"]
+    slo = report["slo"]
+    errors = report["errors"]
+    meta = report["meta"]
+    lines = [
+        "# KOR load report",
+        "",
+        f"- workload: `{meta.get('workload', '?')}`, algorithm `{meta.get('algorithm', '?')}`, "
+        f"transport `{meta.get('transport', '?')}`",
+        f"- offered {report['offered']['rate_qps']:g} qps Poisson for "
+        f"{report['achieved']['elapsed_seconds']:.1f}s "
+        f"({report['offered']['requests']} requests)",
+        "",
+        "| metric | value |",
+        "|---|---|",
+        f"| completed | {report['achieved']['completed']} |",
+        f"| achieved qps | {report['achieved']['qps']:.1f} |",
+        f"| p50 latency | {latency['p50']:.2f} ms |",
+        f"| p95 latency | {latency['p95']:.2f} ms |",
+        f"| p99 latency | {latency['p99']:.2f} ms |",
+        f"| errors (http/schema/timeout/transport) | {errors['http_errors']}/"
+        f"{errors['schema_errors']}/{errors['timeout_errors']}/"
+        f"{errors['transport_errors']} |",
+        f"| SLO | {slo['slo_ms']:.0f} ms |",
+        f"| SLO violations | {slo['violations']} ({100.0 * slo['violation_rate']:.2f}%) |",
+        f"| error budget used | {100.0 * slo['budget_used']:.1f}% of "
+        f"{100.0 * slo['error_budget']:.1f}% budget |",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def _build_workload(name: str, scale: str | None):
+    if name == "flickr":
+        return flickr_workload(scale)
+    if name == "road":
+        return road_workload(road_default_size(scale), scale)
+    raise SystemExit(f"unknown dataset {name!r}; expected flickr or road")
+
+
+def _parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--transport", choices=("stdlib", "asgi"), default="stdlib")
+    parser.add_argument("--url", help="load-test a running server instead of booting one")
+    parser.add_argument("--dataset", choices=("flickr", "road"), default="flickr")
+    parser.add_argument("--scale", choices=("small", "default", "paper"), default="small")
+    parser.add_argument("--keywords", type=int, default=2, help="keywords per query")
+    parser.add_argument("--num-queries", type=int, default=24, help="query-set size")
+    parser.add_argument("--algorithm", default="bucketbound")
+    parser.add_argument("--rate", type=float, default=50.0, help="Poisson arrival qps")
+    parser.add_argument("--duration", type=float, default=5.0, help="seconds of load")
+    parser.add_argument("--max-requests", type=int, default=None)
+    parser.add_argument("--slo-ms", type=float, default=100.0)
+    parser.add_argument("--error-budget", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--request-timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--adaptive-target",
+        type=int,
+        default=None,
+        help="enable adaptive micro-batching with this target wave size",
+    )
+    parser.add_argument(
+        "--tune",
+        action="store_true",
+        help="feed the configured rate to POST /tune before the run",
+    )
+    parser.add_argument("--json", dest="json_path", help="write the JSON report here")
+    parser.add_argument(
+        "--markdown", dest="markdown_path", help="write the markdown report here"
+    )
+    return parser.parse_args(argv)
+
+
+async def _amain(args: argparse.Namespace) -> dict:
+    from repro.server import KORApp, serve
+    from repro.service import QueryService
+    from repro.service.frontend import AsyncQueryService
+
+    workload = _build_workload(args.dataset, args.scale)
+    queries = workload.query_set(
+        args.keywords, num_queries=args.num_queries, seed=args.seed
+    )
+    frontend_kwargs = {"slo_seconds": args.slo_ms / 1000.0}
+    if args.adaptive_target is not None:
+        frontend_kwargs["adaptive_target_batch"] = args.adaptive_target
+
+    server = None
+    front = None
+    try:
+        if args.url:
+            from urllib.parse import urlsplit
+
+            split = urlsplit(args.url)
+            host, port = split.hostname, split.port or 80
+
+            async def send(payload):
+                return await http_request(host, port, "POST", "/query", payload)
+
+            tune = lambda p: http_request(host, port, "POST", "/tune", p)  # noqa: E731
+        elif args.transport == "stdlib":
+            server = serve(
+                QueryService(workload.engine), **frontend_kwargs
+            )
+            host, port = server.address
+
+            async def send(payload):
+                return await http_request(host, port, "POST", "/query", payload)
+
+            tune = lambda p: http_request(host, port, "POST", "/tune", p)  # noqa: E731
+        else:
+            front = AsyncQueryService(QueryService(workload.engine), **frontend_kwargs)
+            app = KORApp(front)
+
+            async def send(payload):
+                return await asgi_request(app, "POST", "/query", payload)
+
+            tune = lambda p: asgi_request(app, "POST", "/tune", p)  # noqa: E731
+
+        if args.tune:
+            await tune({"arrival_qps": args.rate})
+
+        outcome = await run_load(
+            send,
+            queries,
+            rate_qps=args.rate,
+            duration_seconds=args.duration,
+            algorithm=args.algorithm,
+            seed=args.seed,
+            request_timeout=args.request_timeout,
+            max_requests=args.max_requests,
+        )
+    finally:
+        if front is not None:
+            await front.close()
+        if server is not None:
+            server.close()
+
+    return build_report(
+        outcome,
+        rate_qps=args.rate,
+        slo_seconds=args.slo_ms / 1000.0,
+        error_budget=args.error_budget,
+        meta={
+            "workload": workload.name,
+            "algorithm": args.algorithm,
+            "transport": "url" if args.url else args.transport,
+            "keywords": args.keywords,
+            "num_queries": len(queries),
+            "seed": args.seed,
+            "adaptive_target": args.adaptive_target,
+            "tuned": bool(args.tune),
+        },
+    )
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    report = asyncio.run(_amain(args))
+    markdown = render_markdown(report)
+    print(markdown)
+    if args.json_path:
+        Path(args.json_path).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"json report -> {args.json_path}")
+    if args.markdown_path:
+        Path(args.markdown_path).write_text(markdown)
+        print(f"markdown report -> {args.markdown_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

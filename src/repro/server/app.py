@@ -1,0 +1,363 @@
+"""The KOR serving tier's ASGI application — framework-free.
+
+:class:`KORApp` is a plain `ASGI 3 <https://asgi.readthedocs.io/>`_
+callable over one :class:`~repro.service.frontend.AsyncQueryService`.
+No web framework is imported: the protocol is three dict shapes
+(``scope`` / ``receive`` / ``send``), and speaking it directly keeps the
+serving tier dependency-free while remaining hostable by any ASGI server
+— including this package's own stdlib bridge
+(:class:`repro.server.stdlib.StdlibServer`), so the demo runs with zero
+extra deps.
+
+Endpoints (all JSON, schema-stamped per :mod:`repro.server.schema`):
+
+====================  ======  =================================================
+``GET  /healthz``     200     liveness + the endpoint directory
+``GET  /stats``       200     ``kor.service_stats.v1``: front-end snapshot,
+                              scheduling meta, wrapped-service snapshot
+``POST /query``       200     one ``kor.route_query.v1`` in, one validated
+                              ``kor.route_result.v1`` out
+``POST /batch``       200     ``{"queries": [...]}`` in, ``kor.route_batch.v1``
+                              out (per-slot results or error objects)
+``POST /topk/stream`` 200     KkR top-k as streaming NDJSON: a
+                              ``kor.route_topk.v1`` header line, then one
+                              ranked route per line (chunked transfer)
+``POST /tune``        200     feed an observed arrival rate into adaptive
+                              micro-batching; echoes the window now in force
+====================  ======  =================================================
+
+Error mapping: malformed payloads and bad parameters (``WireError`` /
+``QueryError``) are 400, per-awaiter timeouts are 504, unknown paths are
+404, wrong methods are 405, anything else is a 500 carrying the
+exception type.  **Every** ``kor.route_result.v1`` document is passed
+through :func:`~repro.server.schema.validate_route_result` before it is
+sent — the server refuses to emit a response it would itself reject.
+
+Per-endpoint request/error counters land in the front-end's
+:class:`~repro.service.stats.ServiceStats` (``snapshot().endpoints``),
+so ``/stats`` reports the network tier's own traffic next to the query
+metrics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict
+from typing import Awaitable, Callable
+
+from repro.exceptions import QueryError
+from repro.server.schema import (
+    ROUTE_TOPK_SCHEMA,
+    SERVICE_STATS_SCHEMA,
+    WireError,
+    encode_batch,
+    encode_error,
+    encode_route_result,
+    parse_route_query,
+    validate_route_result,
+)
+from repro.service.frontend import AsyncQueryService
+
+__all__ = ["KORApp"]
+
+_JSON_HEADERS = [(b"content-type", b"application/json")]
+_NDJSON_HEADERS = [(b"content-type", b"application/x-ndjson")]
+
+
+class KORApp:
+    """ASGI 3 application serving KOR queries over HTTP.
+
+    Parameters
+    ----------
+    frontend:
+        The :class:`~repro.service.frontend.AsyncQueryService` every
+        query endpoint submits into (micro-batching, coalescing and
+        timeouts all apply to HTTP traffic exactly as to in-process
+        callers — the app adds transport, never semantics).
+    topk_engine:
+        Engine answering ``/topk/stream`` (anything with the
+        ``top_k(source, target, keywords, budget_limit, k, ...)``
+        contract).  Defaults to the wrapped sync service's ``engine``
+        when it has one; without an engine the endpoint answers 501.
+    """
+
+    def __init__(self, frontend: AsyncQueryService, topk_engine=None) -> None:
+        self._front = frontend
+        if topk_engine is None:
+            topk_engine = getattr(getattr(frontend, "service", None), "engine", None)
+        self._topk_engine = topk_engine
+        self._routes: dict[str, tuple[str, Callable[[bytes], Awaitable[tuple[int, dict]]]]] = {
+            "/healthz": ("GET", self._healthz),
+            "/stats": ("GET", self._stats),
+            "/query": ("POST", self._query),
+            "/batch": ("POST", self._batch),
+            "/tune": ("POST", self._tune),
+        }
+
+    @property
+    def frontend(self) -> AsyncQueryService:
+        """The wrapped async front-end."""
+        return self._front
+
+    # ------------------------------------------------------------------
+    # ASGI entry point
+    # ------------------------------------------------------------------
+    async def __call__(self, scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":
+            raise RuntimeError(f"KORApp only speaks http/lifespan, got {scope['type']!r}")
+        path = scope["path"]
+        method = scope["method"].upper()
+        if path == "/topk/stream":
+            if method != "POST":
+                await self._finish(
+                    send, path, 405,
+                    {"error": {"type": "MethodNotAllowed", "message": "use POST"}},
+                )
+                return
+            await self._topk_stream(scope, receive, send)
+            return
+        route = self._routes.get(path)
+        if route is None:
+            await self._finish(
+                send,
+                "<unknown>",
+                404,
+                {"error": {"type": "NotFound", "message": f"no endpoint {path!r}"}},
+            )
+            return
+        expected_method, handler = route
+        if method != expected_method:
+            await self._finish(
+                send,
+                path,
+                405,
+                {"error": {"type": "MethodNotAllowed", "message": f"use {expected_method}"}},
+            )
+            return
+        body = await self._read_body(receive)
+        try:
+            status, payload = await handler(body)
+        except (WireError, QueryError) as error:
+            status, payload = 400, encode_error(error)
+        except asyncio.TimeoutError as error:
+            status, payload = 504, encode_error(error)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - boundary: map to 500
+            status, payload = 500, encode_error(error)
+        await self._finish(send, path, status, payload)
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    async def _healthz(self, body: bytes) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "endpoints": sorted(self._routes) + ["/topk/stream"],
+        }
+
+    async def _stats(self, body: bytes) -> tuple[int, dict]:
+        payload = {
+            "schema": SERVICE_STATS_SCHEMA,
+            "frontend": asdict(self._front.snapshot()),
+            "scheduling": self._front.scheduling_stats(),
+        }
+        wrapped = getattr(self._front.service, "snapshot", None)
+        if callable(wrapped):
+            payload["service"] = asdict(wrapped())
+        return 200, payload
+
+    async def _query(self, body: bytes) -> tuple[int, dict]:
+        spec = parse_route_query(_loads(body))
+        result = await self._front.submit(
+            spec["query"],
+            algorithm=spec["algorithm"],
+            timeout=spec["timeout"],
+            **spec["params"],
+        )
+        return 200, validate_route_result(
+            encode_route_result(result, explain=spec["explain"])
+        )
+
+    async def _batch(self, body: bytes) -> tuple[int, dict]:
+        payload = _loads(body)
+        if not isinstance(payload, dict) or not isinstance(payload.get("queries"), list):
+            raise WireError("route_batch: body must carry a 'queries' list")
+        defaults = {
+            key: payload[key]
+            for key in ("algorithm", "params", "explain", "timeout")
+            if key in payload
+        }
+        specs = []
+        for item in payload["queries"]:
+            if not isinstance(item, dict):
+                raise WireError("route_batch: each query must be a JSON object")
+            # Batch-level defaults apply unless the slot overrides them.
+            specs.append(parse_route_query({**defaults, **item}))
+        outcomes = await asyncio.gather(
+            *(
+                self._front.submit(
+                    spec["query"],
+                    algorithm=spec["algorithm"],
+                    timeout=spec["timeout"],
+                    **spec["params"],
+                )
+                for spec in specs
+            ),
+            return_exceptions=True,
+        )
+        items = []
+        for spec, outcome in zip(specs, outcomes):
+            if isinstance(outcome, BaseException):
+                items.append(encode_error(outcome))
+            else:
+                items.append(
+                    validate_route_result(
+                        encode_route_result(outcome, explain=spec["explain"])
+                    )
+                )
+        return 200, encode_batch(items)
+
+    async def _tune(self, body: bytes) -> tuple[int, dict]:
+        payload = _loads(body)
+        if not isinstance(payload, dict):
+            raise WireError("tune: body must be a JSON object")
+        rate = payload.get("arrival_qps")
+        if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+            raise WireError("tune: 'arrival_qps' must be a number")
+        window = self._front.tune(float(rate))
+        return 200, {
+            "window_seconds": window,
+            "arrival_qps": self._front.arrival_qps,
+            "adaptive": self._front.scheduling_stats()["adaptive"],
+        }
+
+    async def _topk_stream(self, scope, receive, send) -> None:
+        """KkR top-k as chunked NDJSON (header line, then ranked routes).
+
+        The whole search runs on a worker thread before the first byte
+        is written — top-k has no incremental API — but the response is
+        still streamed line by line so large answers never materialise
+        as one document and clients can consume ranks as they arrive.
+        """
+        body = await self._read_body(receive)
+        try:
+            if self._topk_engine is None:
+                raise LookupError("this deployment exposes no top-k engine")
+            payload = _loads(body)
+            spec = parse_route_query(payload)
+            k = payload.get("k")
+            if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+                raise WireError("route_topk: 'k' must be a positive integer")
+            loop = asyncio.get_running_loop()
+            answer = await loop.run_in_executor(
+                None,
+                lambda: self._topk_engine.top_k(
+                    spec["query"].source,
+                    spec["query"].target,
+                    spec["query"].keywords,
+                    spec["query"].budget_limit,
+                    k,
+                    algorithm=spec["algorithm"],
+                    **spec["params"],
+                ),
+            )
+        except (WireError, QueryError) as error:
+            await self._finish(send, "/topk/stream", 400, encode_error(error))
+            return
+        except LookupError as error:
+            await self._finish(send, "/topk/stream", 501, encode_error(error))
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - boundary: map to 500
+            await self._finish(send, "/topk/stream", 500, encode_error(error))
+            return
+        header = {
+            "schema": ROUTE_TOPK_SCHEMA,
+            "query": {
+                "source": spec["query"].source,
+                "target": spec["query"].target,
+                "keywords": list(spec["query"].keywords),
+                "budget_limit": spec["query"].budget_limit,
+            },
+            "algorithm": spec["algorithm"],
+            "k": k,
+            "count": len(answer.routes),
+        }
+        await send(
+            {
+                "type": "http.response.start",
+                "status": 200,
+                "headers": list(_NDJSON_HEADERS),
+            }
+        )
+        await send(
+            {"type": "http.response.body", "body": _line(header), "more_body": True}
+        )
+        for rank, route in enumerate(answer.routes, start=1):
+            line = {
+                "rank": rank,
+                "nodes": [int(node) for node in route.nodes],
+                "score": {
+                    "objective": float(route.objective_score),
+                    "budget": float(route.budget_score),
+                },
+            }
+            await send(
+                {"type": "http.response.body", "body": _line(line), "more_body": True}
+            )
+        await send({"type": "http.response.body", "body": b"", "more_body": False})
+        self._front.stats.record_endpoint("/topk/stream")
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _read_body(self, receive) -> bytes:
+        chunks: list[bytes] = []
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                raise asyncio.CancelledError("client disconnected mid-request")
+            chunks.append(message.get("body", b""))
+            if not message.get("more_body", False):
+                return b"".join(chunks)
+
+    async def _finish(self, send, endpoint: str, status: int, payload: dict) -> None:
+        """One complete JSON response + the endpoint counter tick."""
+        body = json.dumps(payload, allow_nan=False).encode()
+        await send(
+            {
+                "type": "http.response.start",
+                "status": status,
+                "headers": list(_JSON_HEADERS) + [
+                    (b"content-length", str(len(body)).encode())
+                ],
+            }
+        )
+        await send({"type": "http.response.body", "body": body, "more_body": False})
+        self._front.stats.record_endpoint(endpoint, error=status >= 400)
+
+
+def _loads(body: bytes) -> object:
+    try:
+        return json.loads(body or b"null")
+    except json.JSONDecodeError as error:
+        raise WireError(f"request body is not valid JSON: {error}") from None
+
+
+def _line(payload: dict) -> bytes:
+    return json.dumps(payload, allow_nan=False).encode() + b"\n"

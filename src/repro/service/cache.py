@@ -280,17 +280,22 @@ class ResultCache:
         ``epoch`` follows the :meth:`get`/:meth:`put` contract: captured
         before computing, it turns writes that raced an
         :meth:`invalidate` into silent drops.  The flight table itself
-        is **epoch-scoped**: flights are registered under the epoch
-        current at their creation, so a caller arriving after an
-        :meth:`invalidate` never coalesces onto a computation that
-        started against the retired engine — it starts a fresh one.
+        is **epoch-scoped**: flights are registered under the *caller's*
+        captured epoch (falling back to the current epoch when none is
+        given), so a caller arriving after an :meth:`invalidate` never
+        coalesces onto a computation that started against the retired
+        engine — it starts a fresh one.  Keying by the caller's epoch
+        rather than the table's current epoch matters when the capture
+        itself raced the invalidate: a leader that captured the retired
+        epoch computes against the retired engine, and its flight must
+        not collect waiters who captured the new one.
         """
         while True:
             hit = self.get(key, epoch=epoch)
             if hit is not None:
                 return hit, "hit"
             with self._lock:
-                flight_key = (key, self._epoch)
+                flight_key = (key, self._epoch if epoch is None else epoch)
                 flight = self._in_flight.get(flight_key)
                 if flight is None:
                     flight = _InFlight()

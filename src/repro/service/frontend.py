@@ -124,7 +124,27 @@ class AsyncQueryService:
     close_service:
         Whether :meth:`close` also closes the wrapped sync service
         (only meaningful for services owning their backend).
+    adaptive_target_batch:
+        Enable **adaptive micro-batching**: the front-end keeps an EWMA
+        estimate of the request arrival rate (updated per submission, or
+        fed externally via :meth:`tune`) and continuously re-derives the
+        batching window so an average wave collects about this many
+        flights — ``window = target / arrival_qps``, capped at
+        ``max_window_seconds`` and snapped to 0 when traffic is too
+        sparse for a wave of two to form within the cap (batching delay
+        would buy nothing).  ``None`` (default) keeps the fixed
+        ``window_seconds``.
+    max_window_seconds:
+        Upper bound on the adaptive window — the most latency adaptivity
+        may spend chasing bigger waves.
+    slo_seconds:
+        Optional per-request latency SLO; requests slower than this are
+        counted in ``snapshot().slo_violations`` (see
+        :class:`~repro.service.stats.ServiceStats`).
     """
+
+    #: EWMA smoothing factor for the arrival-interval estimate.
+    ARRIVAL_EWMA_ALPHA = 0.1
 
     def __init__(
         self,
@@ -133,21 +153,34 @@ class AsyncQueryService:
         max_batch: int = 64,
         executor=None,
         close_service: bool = False,
+        adaptive_target_batch: int | None = None,
+        max_window_seconds: float = 0.050,
+        slo_seconds: float | None = None,
     ) -> None:
         if window_seconds < 0.0:
             raise QueryError(f"window_seconds must be >= 0, got {window_seconds}")
         if max_batch < 1:
             raise QueryError(f"max_batch must be >= 1, got {max_batch}")
+        if adaptive_target_batch is not None and adaptive_target_batch < 2:
+            raise QueryError(
+                f"adaptive_target_batch must be >= 2 or None, got {adaptive_target_batch}"
+            )
+        if max_window_seconds < 0.0:
+            raise QueryError(f"max_window_seconds must be >= 0, got {max_window_seconds}")
         self._service = service
         self._window = window_seconds
         self._max_batch = max_batch
         self._executor = executor
         self._close_service = close_service
+        self._adaptive_target = adaptive_target_batch
+        self._max_window = max_window_seconds
+        self._arrival_interval_ewma: float | None = None
+        self._last_arrival: float | None = None
         self._pending: dict[Hashable, _Flight] = {}
         self._queue: list[_Flight] = []
         self._flush_handle: asyncio.TimerHandle | asyncio.Handle | None = None
         self._waves: set[asyncio.Task] = set()
-        self._stats = ServiceStats()
+        self._stats = ServiceStats(slo_seconds=slo_seconds)
         self._wave_stats = _WaveStats()
         self._closed = False
 
@@ -170,8 +203,74 @@ class AsyncQueryService:
         return self._stats.snapshot()
 
     def scheduling_stats(self) -> dict:
-        """Wave-level accounting: requests vs flights vs execute waves."""
-        return self._wave_stats.as_dict()
+        """Wave-level accounting: requests vs flights vs execute waves,
+        plus the live batching window and arrival-rate estimate."""
+        stats = self._wave_stats.as_dict()
+        stats["window_seconds"] = self._window
+        stats["arrival_qps"] = self.arrival_qps
+        stats["adaptive"] = self._adaptive_target is not None
+        return stats
+
+    @property
+    def window_seconds(self) -> float:
+        """The batching window currently in force (adaptive or fixed)."""
+        return self._window
+
+    @property
+    def arrival_qps(self) -> float:
+        """EWMA estimate of the request arrival rate (0.0 before two
+        arrivals, or whatever :meth:`tune` last supplied)."""
+        ewma = self._arrival_interval_ewma
+        if ewma is None or ewma <= 0.0:
+            return 0.0
+        return 1.0 / ewma
+
+    # ------------------------------------------------------------------
+    # adaptive micro-batching
+    # ------------------------------------------------------------------
+    def tune(self, arrival_qps: float) -> float:
+        """Feed an externally observed arrival rate (e.g. from the load
+        generator) and re-derive the batching window from it.
+
+        Returns the window now in force.  Only meaningful with
+        ``adaptive_target_batch`` set — without it the call updates the
+        rate estimate but leaves the fixed window alone.
+        """
+        if arrival_qps < 0.0:
+            raise QueryError(f"arrival_qps must be >= 0, got {arrival_qps}")
+        self._arrival_interval_ewma = (1.0 / arrival_qps) if arrival_qps > 0.0 else None
+        self._retune_window()
+        return self._window
+
+    def _observe_arrival(self, now: float) -> None:
+        """Fold one submission timestamp into the arrival-rate EWMA."""
+        last, self._last_arrival = self._last_arrival, now
+        if last is None:
+            return
+        interval = max(now - last, 1e-9)
+        ewma = self._arrival_interval_ewma
+        if ewma is None:
+            self._arrival_interval_ewma = interval
+        else:
+            alpha = self.ARRIVAL_EWMA_ALPHA
+            self._arrival_interval_ewma = alpha * interval + (1.0 - alpha) * ewma
+        self._retune_window()
+
+    def _retune_window(self) -> None:
+        """Window that collects ~``adaptive_target_batch`` flights.
+
+        Sparse traffic (fewer than two expected arrivals within the
+        window cap) snaps to 0 — a wave of one gains nothing from
+        waiting, so adaptivity must not tax light load with latency.
+        """
+        target = self._adaptive_target
+        if target is None:
+            return
+        rate = self.arrival_qps
+        if rate * self._max_window < 2.0:
+            self._window = 0.0
+        else:
+            self._window = min(self._max_window, target / rate)
 
     # ------------------------------------------------------------------
     # submission
@@ -213,6 +312,8 @@ class AsyncQueryService:
             raise QueryError("AsyncQueryService is closed")
         begin = time.perf_counter()
         self._wave_stats.requests += 1
+        if self._adaptive_target is not None:
+            self._observe_arrival(begin)
         flight, joined = self._enlist(query, algorithm, params)
         flight.waiters += 1
         self._stats.record_queue_depth(len(self._pending) + len(self._waves))
@@ -308,9 +409,9 @@ class AsyncQueryService:
 
     def _arm_flush(self, loop: asyncio.AbstractEventLoop) -> None:
         if len(self._queue) >= self._max_batch:
-            if self._flush_handle is not None:
-                self._flush_handle.cancel()
-                self._flush_handle = None
+            # Early flush; _flush itself disarms the window timer that
+            # may be in flight for these same flights, so the timer can
+            # never fire a second, empty (or worse: refilled) wave.
             self._flush()
             return
         if self._flush_handle is None:
@@ -331,7 +432,18 @@ class AsyncQueryService:
                 flight.future.cancel()
 
     def _flush(self) -> None:
-        """Dispatch everything queued as per-(algorithm, params) waves."""
+        """Dispatch everything queued as per-(algorithm, params) waves.
+
+        Disarming the timer handle is done *here*, not at the call
+        sites, so the invariant is local: however a flush is triggered
+        (window expiry, max-batch overflow during ``_enlist``), any
+        armed timer for the queue being drained is cancelled and the
+        handle slot is clear for the next arrival to arm afresh.
+        Cancelling the handle is safe even when this call *is* that
+        timer firing — cancel-after-fire is a no-op.
+        """
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
         self._flush_handle = None
         queued, self._queue = self._queue, []
         live = [flight for flight in queued if not flight.abandoned]

@@ -48,6 +48,17 @@ class StatsSnapshot:
     p95_latency_seconds: float
     mean_latency_seconds: float
     busy_seconds: float
+    #: Tail latency over the same window as p50/p95 (the serving tier's
+    #: SLO currency: the network front door gates on it).
+    p99_latency_seconds: float = 0.0
+    #: The latency SLO the recording service was configured with (None =
+    #: no SLO accounting).
+    slo_seconds: float | None = None
+    #: Queries answered slower than ``slo_seconds`` (0 without an SLO).
+    slo_violations: int = 0
+    #: HTTP endpoint -> ``{"requests": n, "errors": n}`` (empty off the
+    #: network path; filled by the server tier).
+    endpoints: dict = field(default_factory=dict)
     #: Shard key -> tasks executed there (empty for unsharded services).
     shard_tasks: dict = field(default_factory=dict)
     #: Shard key -> tasks that raised there.
@@ -77,6 +88,22 @@ class StatsSnapshot:
         return self.cache_hits / total if total else 0.0
 
     @property
+    def slo_violation_rate(self) -> float:
+        """SLO violations per answered query (0.0 when idle or no SLO)."""
+        return self.slo_violations / self.queries if self.queries else 0.0
+
+    def slo_budget_used(self, budget_fraction: float = 0.01) -> float:
+        """Fraction of the SLO error budget consumed.
+
+        An error budget of ``budget_fraction`` (default 1%) allows that
+        share of queries to miss the SLO; 1.0 means the budget is spent,
+        values above 1.0 mean the service is in violation.
+        """
+        if budget_fraction <= 0.0:
+            raise ValueError(f"budget_fraction must be > 0, got {budget_fraction}")
+        return self.slo_violation_rate / budget_fraction
+
+    @property
     def throughput_qps(self) -> float:
         """Queries per second of busy time (inf for all-hit workloads
         measured below clock resolution, 0.0 when idle)."""
@@ -93,8 +120,15 @@ class StatsSnapshot:
             f"hit rate {100.0 * self.hit_rate:.1f}%, "
             f"p50 {1000.0 * self.p50_latency_seconds:.3f} ms, "
             f"p95 {1000.0 * self.p95_latency_seconds:.3f} ms, "
+            f"p99 {1000.0 * self.p99_latency_seconds:.3f} ms, "
             f"{self.throughput_qps:.0f} qps"
         )
+        if self.slo_seconds is not None:
+            line += (
+                f"; SLO {1000.0 * self.slo_seconds:.0f} ms: "
+                f"{self.slo_violations} violations "
+                f"({100.0 * self.slo_violation_rate:.2f}%)"
+            )
         if self.shard_tasks:
             shards = ", ".join(
                 f"{shard}={count}" for shard, count in sorted(self.shard_tasks.items())
@@ -130,9 +164,11 @@ class ServiceStats:
     query/hit/error counters cover the whole lifetime.
     """
 
-    def __init__(self, window: int = 8192) -> None:
+    def __init__(self, window: int = 8192, slo_seconds: float | None = None) -> None:
         if window < 1:
             raise ValueError(f"latency window must be >= 1, got {window}")
+        if slo_seconds is not None and slo_seconds <= 0.0:
+            raise ValueError(f"slo_seconds must be > 0 or None, got {slo_seconds}")
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=window)
         self._queries = 0
@@ -146,6 +182,9 @@ class ServiceStats:
         self._coalesced = 0
         self._timeouts = 0
         self._queue_depth_peak = 0
+        self._slo_seconds = slo_seconds
+        self._slo_violations = 0
+        self._endpoints: dict[str, dict[str, int]] = {}
 
     def record_query(self, latency_seconds: float, cached: bool) -> None:
         """One answered query (hit or computed)."""
@@ -156,6 +195,22 @@ class ServiceStats:
                 self._hits += 1
             else:
                 self._misses += 1
+            if self._slo_seconds is not None and latency_seconds > self._slo_seconds:
+                self._slo_violations += 1
+
+    def record_endpoint(self, endpoint: str, error: bool = False) -> None:
+        """One request handled on a named HTTP endpoint.
+
+        Endpoint counters are the network tier's currency: they count
+        *requests at the front door* (including health probes and schema
+        rejections), not engine queries — a batch of 50 is one ``/batch``
+        request here and 50 queries in the query counters.
+        """
+        with self._lock:
+            counters = self._endpoints.setdefault(endpoint, {"requests": 0, "errors": 0})
+            counters["requests"] += 1
+            if error:
+                counters["errors"] += 1
 
     def record_error(self) -> None:
         """One query that raised instead of answering."""
@@ -223,10 +278,14 @@ class ServiceStats:
                 cache_misses=self._misses,
                 p50_latency_seconds=percentile(latencies, 50.0),
                 p95_latency_seconds=percentile(latencies, 95.0),
+                p99_latency_seconds=percentile(latencies, 99.0),
                 mean_latency_seconds=(
                     sum(latencies) / len(latencies) if latencies else 0.0
                 ),
                 busy_seconds=self._busy_seconds,
+                slo_seconds=self._slo_seconds,
+                slo_violations=self._slo_violations,
+                endpoints={name: dict(c) for name, c in self._endpoints.items()},
                 shard_tasks=dict(self._shard_tasks),
                 shard_errors=dict(self._shard_errors),
                 merge_wins=dict(self._merge_wins),
@@ -253,3 +312,5 @@ class ServiceStats:
             self._coalesced = 0
             self._timeouts = 0
             self._queue_depth_peak = 0
+            self._slo_violations = 0
+            self._endpoints.clear()

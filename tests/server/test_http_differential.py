@@ -1,0 +1,251 @@
+"""End-to-end: the HTTP front door vs direct ``AsyncQueryService`` calls.
+
+The acceptance bar for the network tier: results served over HTTP (real
+sockets through the stdlib bridge, and the raw ASGI callable) must be
+**byte-identical** to what a direct in-process ``AsyncQueryService``
+awaiter gets, for all six algorithms — the transport adds nothing and
+loses nothing.  Plus the rest of the surface: batch, streaming top-k,
+stats/endpoint counters, tune, and the error mapping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.engine import ALGORITHMS
+from repro.server import (
+    KORApp,
+    asgi_request,
+    decode_route_result,
+    encode_route_result,
+    http_request,
+    serve,
+)
+from repro.service import AsyncQueryService, QueryService
+
+from tests.service.test_differential import fingerprint, random_instance
+from tests.service.test_frontend import SlowEngine
+
+
+def canonical_bytes(document: dict) -> bytes:
+    """Key-order-independent byte form of one wire document."""
+    return json.dumps(document, sort_keys=True, allow_nan=False).encode()
+
+
+def query_payload(query, algorithm: str) -> dict:
+    return {
+        "source": query.source,
+        "target": query.target,
+        "keywords": list(query.keywords),
+        "budget_limit": query.budget_limit,
+        "algorithm": algorithm,
+    }
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_instance(0)
+
+
+@pytest.fixture(scope="module")
+def server(instance):
+    engine, _queries = instance
+    server = serve(QueryService(engine, cache_capacity=256))
+    yield server
+    server.close()
+
+
+def over_http(server, method, path, payload=None):
+    host, port = server.address
+    return asyncio.run(http_request(host, port, method, path, payload))
+
+
+class TestHTTPDifferential:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_http_results_byte_identical_to_direct_frontend(
+        self, algorithm, instance, server
+    ):
+        """Acceptance: socket HTTP == direct AsyncQueryService, byte for
+        byte on the wire encoding, for all six algorithms."""
+        engine, queries = instance
+
+        async def direct():
+            async with AsyncQueryService(QueryService(engine, cache_capacity=256)) as front:
+                return [
+                    await front.submit(query, algorithm=algorithm) for query in queries
+                ]
+
+        expected = [canonical_bytes(encode_route_result(r)) for r in asyncio.run(direct())]
+        got = []
+        for query in queries:
+            response = over_http(server, "POST", "/query", query_payload(query, algorithm))
+            assert response.status == 200, response.body
+            got.append(canonical_bytes(response.json()))
+        assert got == expected
+
+    def test_asgi_inproc_matches_engine(self, instance):
+        """The raw ASGI callable (no sockets) stays differential too."""
+        engine, queries = instance
+
+        async def drive():
+            front = AsyncQueryService(QueryService(engine, cache_capacity=256))
+            app = KORApp(front)
+            try:
+                out = []
+                for algorithm in ALGORITHMS:
+                    response = await asgi_request(
+                        app, "POST", "/query", query_payload(queries[1], algorithm)
+                    )
+                    assert response.status == 200, response.body
+                    out.append((algorithm, decode_route_result(response.json())))
+                return out
+            finally:
+                await front.close()
+
+        for algorithm, decoded in asyncio.run(drive()):
+            assert fingerprint(decoded) == fingerprint(
+                engine.run(queries[1], algorithm=algorithm)
+            )
+
+    def test_batch_endpoint_matches_per_query_answers(self, instance, server):
+        engine, queries = instance
+        response = over_http(
+            server,
+            "POST",
+            "/batch",
+            {
+                "queries": [query_payload(q, "greedy") for q in queries],
+                "algorithm": "greedy",
+            },
+        )
+        assert response.status == 200
+        envelope = response.json()
+        assert envelope["schema"] == "kor.route_batch.v1"
+        assert envelope["count"] == len(queries)
+        for query, slot in zip(queries, envelope["results"]):
+            assert "error" not in slot
+            assert fingerprint(decode_route_result(slot)) == fingerprint(
+                engine.run(query, algorithm="greedy")
+            )
+
+    def test_batch_isolates_per_slot_errors(self, instance, server):
+        engine, queries = instance
+        bad = {
+            "source": engine.graph.num_nodes + 9, "target": 0,
+            "keywords": [], "budget_limit": 4.0,
+        }
+        response = over_http(
+            server,
+            "POST",
+            "/batch",
+            {"queries": [query_payload(queries[0], "bucketbound"), bad]},
+        )
+        assert response.status == 200
+        good_slot, bad_slot = response.json()["results"]
+        assert "error" not in good_slot
+        assert bad_slot["error"]["type"] == "QueryError"
+
+
+class TestStreamingTopK:
+    def test_topk_stream_matches_engine_over_chunked_http(self, instance, server):
+        engine, queries = instance
+        query = queries[0]
+        expected = engine.top_k(
+            query.source, query.target, query.keywords, query.budget_limit, 3,
+            algorithm="bucketbound",
+        )
+        response = over_http(
+            server,
+            "POST",
+            "/topk/stream",
+            {**query_payload(query, "bucketbound"), "k": 3},
+        )
+        assert response.status == 200
+        assert response.headers.get("transfer-encoding", "").lower() == "chunked"
+        header, *lines = response.ndjson()
+        assert header["schema"] == "kor.route_topk.v1"
+        assert header["count"] == len(expected.routes) == len(lines)
+        for rank, (line, route) in enumerate(zip(lines, expected.routes), start=1):
+            assert line["rank"] == rank
+            assert tuple(line["nodes"]) == route.nodes
+            assert line["score"]["objective"] == pytest.approx(route.objective_score)
+            assert line["score"]["budget"] == pytest.approx(route.budget_score)
+
+    def test_topk_rejects_bad_k_and_bad_algorithm(self, instance, server):
+        _engine, queries = instance
+        payload = query_payload(queries[0], "bucketbound")
+        assert over_http(server, "POST", "/topk/stream", {**payload, "k": 0}).status == 400
+        # exact is a valid KOR algorithm but not a top-k one: still a 400.
+        response = over_http(
+            server, "POST", "/topk/stream", {**payload, "algorithm": "exact", "k": 2}
+        )
+        assert response.status == 400
+
+
+class TestOperationalSurface:
+    def test_healthz_lists_endpoints(self, server):
+        response = over_http(server, "GET", "/healthz")
+        assert response.status == 200
+        assert "/query" in response.json()["endpoints"]
+
+    def test_stats_reports_endpoint_counters(self, instance, server):
+        _engine, queries = instance
+        over_http(server, "POST", "/query", query_payload(queries[0], "bucketbound"))
+        response = over_http(server, "GET", "/stats")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["schema"] == "kor.service_stats.v1"
+        assert payload["frontend"]["endpoints"]["/query"]["requests"] >= 1
+        assert "window_seconds" in payload["scheduling"]
+        assert payload["service"]["queries"] >= 1
+
+    def test_error_mapping(self, server):
+        assert over_http(server, "GET", "/no-such-endpoint").status == 404
+        assert over_http(server, "GET", "/query").status == 405
+        malformed = over_http(server, "POST", "/query", {"source": 0})
+        assert malformed.status == 400
+        assert malformed.json()["error"]["type"] == "WireError"
+        unknown = over_http(
+            server,
+            "POST",
+            "/query",
+            {"source": 0, "target": 1, "keywords": [], "budget_limit": 2.0,
+             "algorithm": "dijkstra"},
+        )
+        assert unknown.status == 400
+        # Bad requests are counted as endpoint errors in the stats.
+        stats = over_http(server, "GET", "/stats").json()
+        assert stats["frontend"]["endpoints"]["/query"]["errors"] >= 2
+
+    def test_request_timeout_maps_to_504(self, instance):
+        engine, queries = instance
+        server = serve(QueryService(SlowEngine(engine, delay_seconds=0.5), cache_capacity=0))
+        try:
+            response = over_http(
+                server,
+                "POST",
+                "/query",
+                {**query_payload(queries[0], "bucketbound"), "timeout": 0.01},
+            )
+            assert response.status == 504
+        finally:
+            server.close()
+
+    def test_tune_adjusts_adaptive_window(self, instance):
+        engine, _queries = instance
+        server = serve(
+            QueryService(engine, cache_capacity=16),
+            adaptive_target_batch=8,
+            max_window_seconds=0.05,
+        )
+        try:
+            response = over_http(server, "POST", "/tune", {"arrival_qps": 1000.0})
+            assert response.status == 200
+            payload = response.json()
+            assert payload["adaptive"] is True
+            assert payload["window_seconds"] == pytest.approx(0.008)
+        finally:
+            server.close()

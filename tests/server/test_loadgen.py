@@ -1,0 +1,219 @@
+"""The open-loop load generator: arrival process, report math, validation.
+
+Unit-level coverage drives ``run_load`` against the in-process ASGI app
+(tiny random graphs — the CI smoke job covers the real-dataset stdlib
+path), and pins the report aggregation the artifacts are built from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.server import KORApp, asgi_request
+from repro.service import AsyncQueryService, QueryService
+
+from tests.service.test_differential import random_instance
+
+_LOADGEN_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "loadgen.py"
+_spec = importlib.util.spec_from_file_location("kor_loadgen", _LOADGEN_PATH)
+loadgen = importlib.util.module_from_spec(_spec)
+sys.modules["kor_loadgen"] = loadgen
+_spec.loader.exec_module(loadgen)
+
+
+def run_against_asgi(queries, **kwargs):
+    engine = kwargs.pop("engine")
+    front_kwargs = kwargs.pop("front_kwargs", {})
+
+    async def drive():
+        front = AsyncQueryService(QueryService(engine, cache_capacity=0), **front_kwargs)
+        app = KORApp(front)
+        try:
+            return await loadgen.run_load(
+                lambda payload: asgi_request(app, "POST", "/query", payload),
+                queries,
+                **kwargs,
+            )
+        finally:
+            await front.close()
+
+    return asyncio.run(drive())
+
+
+class TestRunLoad:
+    def test_replays_queries_and_validates_every_response(self):
+        engine, queries = random_instance(0)
+        outcome = run_against_asgi(
+            queries,
+            engine=engine,
+            rate_qps=200.0,
+            duration_seconds=0.5,
+            algorithm="bucketbound",
+            seed=7,
+        )
+        assert outcome["offered_requests"] > 0
+        assert len(outcome["latencies"]) == outcome["offered_requests"]
+        assert outcome["schema_errors"] == 0
+        assert outcome["http_errors"] == 0
+        assert outcome["transport_errors"] == 0
+
+    def test_open_loop_offers_by_the_clock_not_by_completions(self):
+        """The arrival count follows the Poisson schedule even when the
+        server answers slowly — that is what 'open loop' means."""
+        engine, queries = random_instance(0)
+        from tests.service.test_frontend import SlowEngine
+
+        slow = SlowEngine(engine, delay_seconds=0.05)
+        outcome = run_against_asgi(
+            queries,
+            engine=slow,
+            rate_qps=100.0,
+            duration_seconds=0.4,
+            seed=1,
+        )
+        # ~40 offered in 0.4 s despite each answer costing >= 50 ms: a
+        # closed loop could have completed at most ~8 sequentially.
+        assert outcome["offered_requests"] > 15
+
+    def test_schema_violations_are_counted_not_raised(self):
+        engine, queries = random_instance(0)
+
+        class FakeResponse:
+            status = 200
+            body = b'{"schema": "kor.route_result.v1"}'  # missing fields
+
+            def json(self):
+                import json
+
+                return json.loads(self.body)
+
+        async def drive():
+            async def bad_send(payload):
+                return FakeResponse()
+
+            return await loadgen.run_load(
+                bad_send, queries, rate_qps=300.0, duration_seconds=0.2, seed=0
+            )
+
+        outcome = asyncio.run(drive())
+        assert outcome["schema_errors"] == outcome["offered_requests"] > 0
+        assert not outcome["latencies"]
+
+    def test_http_and_transport_errors_classified(self):
+        engine, queries = random_instance(0)
+
+        class Teapot:
+            status = 418
+            body = b"{}"
+
+            def json(self):
+                return {}
+
+        async def drive(send):
+            return await loadgen.run_load(
+                send, queries, rate_qps=300.0, duration_seconds=0.2, seed=0
+            )
+
+        async def http_error(payload):
+            return Teapot()
+
+        outcome = asyncio.run(drive(http_error))
+        assert outcome["http_errors"] == outcome["offered_requests"] > 0
+
+        async def broken(payload):
+            raise ConnectionResetError("boom")
+
+        outcome = asyncio.run(drive(broken))
+        assert outcome["transport_errors"] == outcome["offered_requests"] > 0
+
+    def test_max_requests_caps_the_schedule(self):
+        engine, queries = random_instance(0)
+        outcome = run_against_asgi(
+            queries,
+            engine=engine,
+            rate_qps=500.0,
+            duration_seconds=5.0,
+            max_requests=5,
+            seed=0,
+        )
+        assert outcome["offered_requests"] == 5
+
+    def test_guards(self):
+        _engine, queries = random_instance(0)
+
+        async def send(payload):  # pragma: no cover - never reached
+            raise AssertionError
+
+        for bad in (
+            {"rate_qps": 0.0, "duration_seconds": 1.0},
+            {"rate_qps": 10.0, "duration_seconds": 0.0},
+        ):
+            with pytest.raises(ValueError):
+                asyncio.run(loadgen.run_load(send, queries, **bad))
+        with pytest.raises(ValueError, match="at least one query"):
+            asyncio.run(loadgen.run_load(send, [], rate_qps=10.0, duration_seconds=1.0))
+
+
+class TestReport:
+    def outcome(self):
+        return {
+            "latencies": [0.010, 0.020, 0.030, 0.040, 0.200],
+            "http_errors": 1,
+            "schema_errors": 0,
+            "timeout_errors": 2,
+            "transport_errors": 0,
+            "offered_requests": 8,
+            "elapsed_seconds": 2.0,
+        }
+
+    def test_build_report_aggregates(self):
+        report = loadgen.build_report(
+            self.outcome(), rate_qps=4.0, slo_seconds=0.100, error_budget=0.25
+        )
+        assert report["schema"] == "kor.load_report.v1"
+        assert report["offered"] == {"rate_qps": 4.0, "requests": 8}
+        assert report["achieved"]["completed"] == 5
+        assert report["achieved"]["qps"] == pytest.approx(2.5)
+        assert report["errors"]["total"] == 3
+        assert report["latency_ms"]["p50"] == pytest.approx(30.0)
+        assert report["latency_ms"]["max"] == pytest.approx(200.0)
+        assert report["slo"]["violations"] == 1  # only the 200 ms sample
+        assert report["slo"]["violation_rate"] == pytest.approx(0.2)
+        # 20% violations against a 25% budget: 80% of the budget spent.
+        assert report["slo"]["budget_used"] == pytest.approx(0.8)
+
+    def test_empty_run_builds_a_zero_report(self):
+        report = loadgen.build_report(
+            {
+                "latencies": [],
+                "http_errors": 0,
+                "schema_errors": 0,
+                "timeout_errors": 0,
+                "transport_errors": 0,
+                "offered_requests": 0,
+                "elapsed_seconds": 1.0,
+            },
+            rate_qps=1.0,
+            slo_seconds=0.1,
+        )
+        assert report["achieved"]["completed"] == 0
+        assert report["latency_ms"]["p99"] == 0.0
+        assert report["slo"]["budget_used"] == 0.0
+
+    def test_markdown_rendering(self):
+        report = loadgen.build_report(
+            self.outcome(),
+            rate_qps=4.0,
+            slo_seconds=0.1,
+            meta={"workload": "unit", "algorithm": "bucketbound", "transport": "asgi"},
+        )
+        markdown = loadgen.render_markdown(report)
+        assert "# KOR load report" in markdown
+        assert "| p99 latency |" in markdown
+        assert "`unit`" in markdown
+        assert "SLO violations" in markdown

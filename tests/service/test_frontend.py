@@ -350,3 +350,156 @@ class TestErrorsAndLifecycle:
 
         asyncio.run(drive())
         assert sharded.backend.shard_keys == ()
+
+
+class TestStaleTimerRegression:
+    """The max-batch overflow flush must disarm an armed window timer.
+
+    Regression guard for the `_arm_flush`/`_flush` edge: the first
+    submission arms a window timer, the ``max_batch``-th triggers an
+    immediate flush — the timer must be cancelled by that flush, never
+    left to fire a second (empty, or worse: refilled) wave.
+    """
+
+    def test_overflow_flush_disarms_the_window_timer(self):
+        engine, queries = random_instance(2)
+        service = QueryService(engine, cache_capacity=256)
+        executes = []
+        original = service.execute
+
+        def counting_execute(batch, **kwargs):
+            executes.append(len(batch))
+            return original(batch, **kwargs)
+
+        service.execute = counting_execute
+
+        async def drive():
+            front = AsyncQueryService(service, window_seconds=0.03, max_batch=2)
+            tasks = [
+                asyncio.ensure_future(front.submit(q, algorithm="bucketbound"))
+                for q in queries[:2]
+            ]
+            await asyncio.sleep(0)  # both enlist; the second overflows
+            # The overflow flush ran synchronously and disarmed the
+            # window timer the first submission had armed.
+            assert front._flush_handle is None  # noqa: SLF001 - regression introspection
+            assert front.scheduling_stats()["waves"] == 1
+            # Let the original timer's instant pass with a refilled
+            # queue behind it: a stale timer would dispatch this flight
+            # in a second premature wave.
+            third = asyncio.ensure_future(
+                front.submit(queries[2], algorithm="bucketbound")
+            )
+            results = await asyncio.gather(*tasks, third)
+            stats = front.scheduling_stats()
+            await front.close()
+            return results, stats
+
+        results, scheduling = asyncio.run(drive())
+        # Exactly two waves: the overflow pair and the third flight's own.
+        assert scheduling["waves"] == 2
+        assert executes == [2, 1]
+        expected = [
+            fingerprint(engine.run(q, algorithm="bucketbound")) for q in queries[:3]
+        ]
+        assert [fingerprint(r) for r in results] == expected
+
+    def test_timer_flush_after_overflow_flush_is_harmless(self):
+        """Sleeping past the window after an overflow must add no waves."""
+        engine, queries = random_instance(2)
+        service = QueryService(engine, cache_capacity=256)
+
+        async def drive():
+            front = AsyncQueryService(service, window_seconds=0.02, max_batch=2)
+            await asyncio.gather(
+                *(front.submit(q, algorithm="bucketbound") for q in queries[:2])
+            )
+            waves_after_overflow = front.scheduling_stats()["waves"]
+            await asyncio.sleep(0.06)  # well past the armed window instant
+            waves_after_wait = front.scheduling_stats()["waves"]
+            await front.close()
+            return waves_after_overflow, waves_after_wait
+
+        waves_after_overflow, waves_after_wait = asyncio.run(drive())
+        assert waves_after_overflow == 1
+        assert waves_after_wait == 1  # the cancelled timer never refired
+
+
+class TestAdaptiveMicroBatching:
+    def make_front(self, **kwargs):
+        engine, queries = random_instance(0)
+        service = QueryService(engine, cache_capacity=256)
+        kwargs.setdefault("adaptive_target_batch", 8)
+        kwargs.setdefault("max_window_seconds", 0.05)
+        return AsyncQueryService(service, **kwargs), queries
+
+    def test_tune_derives_window_from_rate(self):
+        front, _queries = self.make_front()
+        assert front.window_seconds == 0.0  # no traffic observed yet
+        window = front.tune(1000.0)
+        assert window == pytest.approx(0.008)  # target 8 / 1000 qps
+        assert front.window_seconds == pytest.approx(0.008)
+        assert front.arrival_qps == pytest.approx(1000.0)
+        scheduling = front.scheduling_stats()
+        assert scheduling["adaptive"] is True
+        assert scheduling["arrival_qps"] == pytest.approx(1000.0)
+
+    def test_sparse_traffic_snaps_window_to_zero(self):
+        """Below two expected arrivals per max window, batching delay
+        buys nothing: the window must snap to 0, not linger."""
+        front, _queries = self.make_front()
+        front.tune(2000.0)
+        assert front.window_seconds > 0.0
+        assert front.tune(10.0) == 0.0  # 10 qps * 50 ms = 0.5 < 2 arrivals
+        assert front.window_seconds == 0.0
+
+    def test_window_is_capped_at_max_window_seconds(self):
+        front, _queries = self.make_front(adaptive_target_batch=100)
+        # target/rate = 1.0 s, far beyond the 50 ms cap.
+        assert front.tune(100.0) == pytest.approx(0.05)
+
+    def test_submissions_feed_the_arrival_ewma(self):
+        front, queries = self.make_front(adaptive_target_batch=4)
+
+        async def drive():
+            for _ in range(5):
+                await front.submit(queries[0], algorithm="bucketbound")
+            rate = front.arrival_qps
+            await front.close()
+            return rate
+
+        assert asyncio.run(drive()) > 0.0
+
+    def test_fixed_window_front_ignores_tune_for_the_window(self):
+        engine, _queries = random_instance(0)
+        service = QueryService(engine, cache_capacity=16)
+        front = AsyncQueryService(service, window_seconds=0.01)
+        assert front.tune(1000.0) == pytest.approx(0.01)
+        assert front.window_seconds == pytest.approx(0.01)
+        assert front.arrival_qps == pytest.approx(1000.0)  # estimate still kept
+
+    def test_invalid_knobs_rejected(self):
+        engine, _queries = random_instance(0)
+        service = QueryService(engine, cache_capacity=16)
+        with pytest.raises(QueryError, match="adaptive_target_batch"):
+            AsyncQueryService(service, adaptive_target_batch=1)
+        with pytest.raises(QueryError, match="max_window_seconds"):
+            AsyncQueryService(service, max_window_seconds=-0.1)
+        front = AsyncQueryService(service)
+        with pytest.raises(QueryError, match="arrival_qps"):
+            front.tune(-1.0)
+
+    def test_slo_violations_surface_in_frontend_snapshot(self):
+        engine, queries = random_instance(0)
+        slow = SlowEngine(engine, delay_seconds=0.03)
+        service = QueryService(slow, cache_capacity=0)
+
+        async def drive():
+            async with AsyncQueryService(service, slo_seconds=0.001) as front:
+                await front.submit(queries[0], algorithm="bucketbound")
+                return front.snapshot()
+
+        snapshot = asyncio.run(drive())
+        assert snapshot.slo_seconds == 0.001
+        assert snapshot.slo_violations == 1
+        assert snapshot.slo_violation_rate == pytest.approx(1.0)

@@ -152,3 +152,127 @@ class TestQueryService:
             fig1_service.execute([query], binding=binding)
         with pytest.raises(QueryError, match="per-query"):
             fig1_service.run_batch([query], candidates={})
+
+
+class TestPercentileAgainstNumpy:
+    """Property: ``percentile`` is ``numpy.percentile`` (linear method)."""
+
+    @staticmethod
+    def _np():
+        import numpy as np
+
+        return np
+
+    def test_q0_is_min_and_q100_is_max(self):
+        samples = [9.0, 2.0, 5.0, 7.0]
+        assert percentile(samples, 0.0) == 2.0
+        assert percentile(samples, 100.0) == 9.0
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert percentile([4.2], q) == 4.2
+
+    def test_two_samples_interpolate_linearly(self):
+        np = self._np()
+        for q in (0.0, 10.0, 25.0, 50.0, 75.0, 99.0, 100.0):
+            assert percentile([1.0, 3.0], q) == pytest.approx(
+                np.percentile([1.0, 3.0], q)
+            )
+        assert percentile([1.0, 3.0], 50.0) == pytest.approx(2.0)
+
+    def test_property_matches_numpy(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        np = self._np()
+
+        @settings(max_examples=150, deadline=None)
+        @given(
+            samples=st.lists(
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=1,
+                max_size=50,
+            ),
+            q=st.one_of(
+                st.sampled_from([0.0, 50.0, 95.0, 99.0, 100.0]),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+        )
+        def check(samples, q):
+            assert percentile(samples, q) == pytest.approx(
+                float(np.percentile(samples, q)), rel=1e-9, abs=1e-9
+            )
+
+        check()
+
+
+class TestSLOAndEndpointAccounting:
+    def test_p99_tracks_the_latency_window(self):
+        stats = ServiceStats()
+        samples = [i / 1000.0 for i in range(100)]
+        for latency in samples:
+            stats.record_query(latency, cached=False)
+        snapshot = stats.snapshot()
+        assert snapshot.p99_latency_seconds == pytest.approx(
+            percentile(samples, 99.0)
+        )
+        assert snapshot.p99_latency_seconds >= snapshot.p95_latency_seconds
+        assert "p99" in snapshot.describe()
+
+    def test_slo_violations_counted_and_budgeted(self):
+        stats = ServiceStats(slo_seconds=0.05)
+        stats.record_query(0.010, cached=False)
+        stats.record_query(0.100, cached=False)  # violation
+        stats.record_query(0.060, cached=True)  # violation (hits count too)
+        snapshot = stats.snapshot()
+        assert snapshot.slo_seconds == 0.05
+        assert snapshot.slo_violations == 2
+        assert snapshot.slo_violation_rate == pytest.approx(2.0 / 3.0)
+        # 66.7% violations against a 100% budget: 2/3 of budget spent.
+        assert snapshot.slo_budget_used(budget_fraction=1.0) == pytest.approx(2.0 / 3.0)
+        assert "SLO" in snapshot.describe()
+
+    def test_no_slo_means_no_violation_accounting(self):
+        stats = ServiceStats()
+        stats.record_query(10.0, cached=False)
+        snapshot = stats.snapshot()
+        assert snapshot.slo_seconds is None
+        assert snapshot.slo_violations == 0
+        assert "SLO" not in snapshot.describe()
+
+    def test_guards(self):
+        with pytest.raises(ValueError, match="slo_seconds"):
+            ServiceStats(slo_seconds=0.0)
+        snapshot = ServiceStats().snapshot()
+        assert snapshot.slo_violation_rate == 0.0  # idle: no division
+        with pytest.raises(ValueError, match="budget_fraction"):
+            snapshot.slo_budget_used(budget_fraction=0.0)
+
+    def test_endpoint_counters(self):
+        stats = ServiceStats()
+        stats.record_endpoint("/query")
+        stats.record_endpoint("/query", error=True)
+        stats.record_endpoint("/healthz")
+        snapshot = stats.snapshot()
+        assert snapshot.endpoints == {
+            "/query": {"requests": 2, "errors": 1},
+            "/healthz": {"requests": 1, "errors": 0},
+        }
+        # The snapshot holds a copy, not the live dict.
+        stats.record_endpoint("/query")
+        assert snapshot.endpoints["/query"]["requests"] == 2
+
+    def test_reset_clears_slo_and_endpoint_state(self):
+        stats = ServiceStats(slo_seconds=0.01)
+        stats.record_query(1.0, cached=False)
+        stats.record_endpoint("/query", error=True)
+        stats.reset()
+        snapshot = stats.snapshot()
+        assert snapshot.slo_violations == 0
+        assert snapshot.endpoints == {}
+        assert snapshot.slo_seconds == 0.01  # the SLO itself survives reset

@@ -239,3 +239,78 @@ class TestServiceSingleFlight:
         # Every distinct key computed at least once, at most once per
         # key (coalescing or cache hits absorb the second thread).
         assert counting.runs == len(set(distinct))
+
+
+class TestEpochScopedFlights:
+    """Regressions: dead flights are removed, and the flight table is
+    keyed by the *caller's* captured epoch, not the table's current one."""
+
+    def test_failed_leader_leaves_no_flight_entry_behind(self):
+        cache = ResultCache(capacity=16)
+
+        def boom():
+            raise QueryError("dead flight")
+
+        with pytest.raises(QueryError, match="dead flight"):
+            cache.get_or_compute("key", boom)
+        # The flight table is empty: a later caller computes immediately
+        # instead of waiting on (or coalescing onto) the dead flight.
+        assert cache._in_flight == {}  # noqa: SLF001 - regression introspection
+        assert cache.get_or_compute("key", lambda: "ok") == ("ok", "computed")
+        assert cache.stats.coalesced == 0
+
+    def test_failed_leader_with_captured_epoch_also_cleans_up(self):
+        cache = ResultCache(capacity=16)
+        epoch = cache.epoch
+
+        def boom():
+            raise QueryError("epoch flight died")
+
+        with pytest.raises(QueryError):
+            cache.get_or_compute("key", boom, epoch=epoch)
+        assert cache._in_flight == {}  # noqa: SLF001 - regression introspection
+        recovered = cache.get_or_compute("key", lambda: "fresh", epoch=cache.epoch)
+        assert recovered == ("fresh", "computed")
+
+    def test_leader_that_captured_retired_epoch_does_not_collect_fresh_waiters(self):
+        """The capture-races-invalidate edge: a leader holding a retired
+        epoch must register its flight under *that* epoch, so callers
+        who captured the new epoch start their own computation instead
+        of coalescing onto the stale engine's answer."""
+        cache = ResultCache(capacity=16)
+        stale_epoch = cache.epoch
+        cache.invalidate()  # the leader's epoch capture raced this
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def stale_compute():
+            entered.set()
+            release.wait(10.0)
+            return "stale-engine-answer"
+
+        leader_box: list = []
+        leader = threading.Thread(
+            target=lambda: leader_box.append(
+                cache.get_or_compute("key", stale_compute, epoch=stale_epoch)
+            )
+        )
+        leader.start()
+        assert entered.wait(5.0)
+
+        # A fresh-epoch caller must become its own leader immediately —
+        # before the fix it coalesced onto the stale flight (and would
+        # block here until the stale leader finished).
+        fresh = cache.get_or_compute(
+            "key", lambda: "fresh-engine-answer", epoch=cache.epoch
+        )
+        assert fresh == ("fresh-engine-answer", "computed")
+        assert cache.stats.coalesced == 0
+
+        release.set()
+        leader.join(timeout=10.0)
+        assert leader_box == [("stale-engine-answer", "computed")]
+        # The stale leader's write-back was epoch-dropped: the store
+        # serves the fresh engine's answer.
+        assert cache.get("key") == "fresh-engine-answer"
+        assert cache.stats.stale_writes == 1

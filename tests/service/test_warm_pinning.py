@@ -234,3 +234,74 @@ class TestConstructionGuards:
             ProcessBackend(spill_margin=-1)
         with pytest.raises(QueryError):
             ProcessBackend(max_in_flight=0)
+
+
+class TestAdmissionSlots:
+    """``max_in_flight`` accounting across dead-worker rebuild+retry.
+
+    Regression guard: the admission slot taken at ``submit_task`` must
+    be released exactly once per task even when the task's worker is
+    SIGKILLed and the backend rebuilds the lane and retries — a leaked
+    slot would shrink admission until it deadlocks.
+    """
+
+    def test_repeated_sigkill_releases_each_slot_exactly_once(self):
+        import threading
+
+        engine, queries = random_instance(0)
+        backend = build_backend(workers=2, max_in_flight=2)
+        try:
+            handle = backend.register_engine(engine, key="slots")
+            warm = backend.run_tasks(
+                [ShardTask.build(handle.key, queries[0], "bucketbound", {})]
+            )
+            assert warm[0].ok
+            assert backend.in_flight == 0
+
+            for round_number in range(3):
+                workers = backend.worker_stats()
+                pinned_lane = backend._pins[handle.key]  # noqa: SLF001 - test introspection
+                os.kill(workers[pinned_lane]["pid"], signal.SIGKILL)
+                time.sleep(0.1)
+                futures = [
+                    backend.submit_task(
+                        ShardTask.build(
+                            handle.key, queries[i % len(queries)], "bucketbound", {}
+                        )
+                    )
+                    for i in range(2)
+                ]
+                outcomes = [future.result(timeout=60.0) for future in futures]
+                assert all(outcome.ok for outcome in outcomes), [
+                    outcome.error for outcome in outcomes
+                ]
+                # The invariant under test: every retried task gave its
+                # slot back (exactly once — a double release would let
+                # in_flight go negative on the next round's peak check).
+                assert backend.in_flight == 0, f"slot leaked in round {round_number}"
+
+            # Admission must still turn over: a burst larger than
+            # max_in_flight completes only if all slots were returned.
+            # Submit from a helper thread so a leak shows up as a test
+            # failure, not an indefinite hang on the admission gate.
+            box: dict = {}
+
+            def submit_burst():
+                box["futures"] = [
+                    backend.submit_task(
+                        ShardTask.build(
+                            handle.key, queries[i % len(queries)], "bucketbound", {}
+                        )
+                    )
+                    for i in range(5)
+                ]
+
+            submitter = threading.Thread(target=submit_burst)
+            submitter.start()
+            submitter.join(timeout=30.0)
+            assert not submitter.is_alive(), "admission gate deadlocked: slot leak"
+            assert all(f.result(timeout=60.0).ok for f in box["futures"])
+            assert backend.in_flight == 0
+            assert backend.peak_in_flight <= 2
+        finally:
+            backend.close()
