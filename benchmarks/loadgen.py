@@ -65,19 +65,50 @@ def _query_payload(query, algorithm: str) -> dict:
     }
 
 
-async def _fire(send, payload: dict, at: float, outcome: dict, timeout: float) -> None:
-    """One scheduled arrival: wait for its instant, send, classify."""
+#: First-retry backoff; doubles per attempt, plus up to 100% jitter.
+_RETRY_BASE_SECONDS = 0.05
+
+
+async def _fire(
+    send,
+    payload: dict,
+    at: float,
+    outcome: dict,
+    timeout: float,
+    retries: int = 0,
+    rng: random.Random | None = None,
+) -> None:
+    """One scheduled arrival: wait for its instant, send, classify.
+
+    Only *transport-level* failures (connection refused/reset — the
+    bare ``Exception`` arm) are retried, up to ``retries`` times with
+    jittered exponential backoff.  Request timeouts and HTTP status
+    errors are **never** retried: a 503 shed or a 4xx is the server
+    answering, and retrying a timed-out request would double the load
+    exactly when the server is slowest.  Latency stays measured from
+    the scheduled arrival, so retry backoff shows up in the percentiles.
+    """
     delay = at - time.perf_counter()
     if delay > 0:
         await asyncio.sleep(delay)
-    try:
-        response = await asyncio.wait_for(send(payload), timeout)
-    except asyncio.TimeoutError:
-        outcome["timeout_errors"] += 1
-        return
-    except Exception:  # noqa: BLE001 - load tool: classify, keep going
-        outcome["transport_errors"] += 1
-        return
+    attempt = 0
+    while True:
+        try:
+            response = await asyncio.wait_for(send(payload), timeout)
+        except asyncio.TimeoutError:
+            outcome["timeout_errors"] += 1
+            return
+        except Exception:  # noqa: BLE001 - load tool: classify, keep going
+            if attempt < retries:
+                attempt += 1
+                outcome["retries"] += 1
+                backoff = _RETRY_BASE_SECONDS * (2 ** (attempt - 1))
+                jitter = backoff * (rng.random() if rng is not None else 0.5)
+                await asyncio.sleep(backoff + jitter)
+                continue
+            outcome["transport_errors"] += 1
+            return
+        break
     latency = time.perf_counter() - at
     if response.status != 200:
         outcome["http_errors"] += 1
@@ -99,13 +130,18 @@ async def run_load(
     seed: int = 0,
     request_timeout: float = 30.0,
     max_requests: int | None = None,
+    retries: int = 0,
 ) -> dict:
     """Drive *send* with a Poisson arrival process; return raw outcomes.
 
     ``send`` is ``async payload -> HTTPResponse``.  Arrival instants are
     drawn up front from ``Expovariate(rate)`` and every request is its
     own task pinned to its instant — completions never gate arrivals.
+    ``retries`` enables transport-level retries per request (see
+    :func:`_fire`; timeouts and HTTP errors are never retried).
     """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     if rate_qps <= 0:
         raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
     if duration_seconds <= 0:
@@ -128,6 +164,7 @@ async def run_load(
         "schema_errors": 0,
         "timeout_errors": 0,
         "transport_errors": 0,
+        "retries": 0,
     }
     start = time.perf_counter()
     tasks = [
@@ -138,6 +175,8 @@ async def run_load(
                 start + offset,
                 outcome,
                 request_timeout,
+                retries=retries,
+                rng=rng,
             )
         )
         for i, offset in enumerate(offsets)
@@ -163,6 +202,9 @@ def build_report(
         key: outcome[key]
         for key in ("http_errors", "schema_errors", "timeout_errors", "transport_errors")
     }
+    # Retries are reported next to the errors but kept out of "total":
+    # a request that succeeded on attempt two is not a failed request.
+    retries = outcome.get("retries", 0)
     violations = sum(1 for latency in latencies if latency > slo_seconds)
     violation_rate = violations / completed if completed else 0.0
     return {
@@ -177,7 +219,7 @@ def build_report(
             "qps": completed / outcome["elapsed_seconds"],
             "elapsed_seconds": outcome["elapsed_seconds"],
         },
-        "errors": {**errors, "total": sum(errors.values())},
+        "errors": {**errors, "total": sum(errors.values()), "retries": retries},
         "latency_ms": {
             "p50": 1000.0 * percentile(latencies, 50.0),
             "p95": 1000.0 * percentile(latencies, 95.0),
@@ -221,6 +263,7 @@ def render_markdown(report: dict) -> str:
         f"| errors (http/schema/timeout/transport) | {errors['http_errors']}/"
         f"{errors['schema_errors']}/{errors['timeout_errors']}/"
         f"{errors['transport_errors']} |",
+        f"| transport retries | {errors.get('retries', 0)} |",
         f"| SLO | {slo['slo_ms']:.0f} ms |",
         f"| SLO violations | {slo['violations']} ({100.0 * slo['violation_rate']:.2f}%) |",
         f"| error budget used | {100.0 * slo['budget_used']:.1f}% of "
@@ -255,6 +298,14 @@ def _parse_args(argv) -> argparse.Namespace:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--request-timeout", type=float, default=30.0)
     parser.add_argument(
+        "--retry",
+        dest="retries",
+        type=int,
+        default=0,
+        help="transport-level retries per request (jittered exponential "
+        "backoff; timeouts and HTTP errors are never retried)",
+    )
+    parser.add_argument(
         "--adaptive-target",
         type=int,
         default=None,
@@ -264,6 +315,13 @@ def _parse_args(argv) -> argparse.Namespace:
         "--tune",
         action="store_true",
         help="feed the configured rate to POST /tune before the run",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="serve over a 2-lane process backend with a seeded fault plan "
+        "(worker kills, task delays, injected errors) installed for the "
+        "whole run; faults may cost errors, never schema-invalid responses",
     )
     parser.add_argument("--json", dest="json_path", help="write the JSON report here")
     parser.add_argument(
@@ -285,6 +343,28 @@ async def _amain(args: argparse.Namespace) -> dict:
     if args.adaptive_target is not None:
         frontend_kwargs["adaptive_target_batch"] = args.adaptive_target
 
+    backend = None
+    chaos_plan = None
+    if args.chaos:
+        if args.url:
+            raise SystemExit("--chaos needs an in-process server, not --url")
+        from repro.service import ProcessBackend
+        from repro.service.faults import FaultPlan, FaultRule, install
+
+        # A seeded, replayable storm: two SIGKILLed workers, a few slow
+        # tasks, two injected errors.  The gate downstream is the wire
+        # contract — errors are allowed, invalid 200s are not.
+        backend = ProcessBackend(workers=2)
+        chaos_plan = install(
+            FaultPlan(
+                [
+                    FaultRule(kind="kill_worker", after=2, times=2),
+                    FaultRule(kind="delay_task", seconds=0.02, times=3),
+                    FaultRule(kind="error_task", after=8, times=2),
+                ]
+            )
+        )
+
     server = None
     front = None
     try:
@@ -300,7 +380,7 @@ async def _amain(args: argparse.Namespace) -> dict:
             tune = lambda p: http_request(host, port, "POST", "/tune", p)  # noqa: E731
         elif args.transport == "stdlib":
             server = serve(
-                QueryService(workload.engine), **frontend_kwargs
+                QueryService(workload.engine, backend=backend), **frontend_kwargs
             )
             host, port = server.address
 
@@ -309,7 +389,9 @@ async def _amain(args: argparse.Namespace) -> dict:
 
             tune = lambda p: http_request(host, port, "POST", "/tune", p)  # noqa: E731
         else:
-            front = AsyncQueryService(QueryService(workload.engine), **frontend_kwargs)
+            front = AsyncQueryService(
+                QueryService(workload.engine, backend=backend), **frontend_kwargs
+            )
             app = KORApp(front)
 
             async def send(payload):
@@ -329,12 +411,19 @@ async def _amain(args: argparse.Namespace) -> dict:
             seed=args.seed,
             request_timeout=args.request_timeout,
             max_requests=args.max_requests,
+            retries=args.retries,
         )
     finally:
+        if chaos_plan is not None:
+            from repro.service import faults
+
+            faults.clear()
         if front is not None:
             await front.close()
         if server is not None:
             server.close()
+        if backend is not None:
+            backend.close()
 
     return build_report(
         outcome,
@@ -350,6 +439,12 @@ async def _amain(args: argparse.Namespace) -> dict:
             "seed": args.seed,
             "adaptive_target": args.adaptive_target,
             "tuned": bool(args.tune),
+            "retries_allowed": args.retries,
+            "chaos": bool(args.chaos),
+            "chaos_fired": (
+                sum(chaos_plan.fired().values()) if chaos_plan is not None else 0
+            ),
+            "chaos_log": list(chaos_plan.log) if chaos_plan is not None else [],
         },
     )
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from collections import deque
 
+from repro.core.deadline import Deadline
 from repro.core.osscaling import os_scaling
 from repro.core.query import KORQuery, QueryBinding
 from repro.core.results import KORResult, SearchStats
@@ -35,6 +36,7 @@ def exhaustive_search(
     query: KORQuery,
     max_expansions: int = 2_000_000,
     binding: QueryBinding | None = None,
+    deadline: Deadline | None = None,
 ) -> KORResult:
     """Enumerate every budget-feasible walk; return the true optimum.
 
@@ -55,6 +57,8 @@ def exhaustive_search(
     )
     expansions = 0
     while queue:
+        if deadline is not None:
+            deadline.tick()
         node, mask, os_score, bs_score, path = queue.popleft()
         expansions += 1
         if expansions > max_expansions:
@@ -106,6 +110,7 @@ def branch_and_bound(
     use_strategy1: bool = True,
     use_strategy2: bool = True,
     binding: QueryBinding | None = None,
+    deadline: Deadline | None = None,
 ) -> KORResult:
     """Exact KOR via the unscaled label search (Algorithm 1, theta -> 0).
 
@@ -122,4 +127,5 @@ def branch_and_bound(
         use_strategy2=use_strategy2,
         exact=True,
         binding=binding,
+        deadline=deadline,
     )

@@ -23,6 +23,7 @@ import heapq
 import math
 import time
 
+from repro.core.deadline import Deadline
 from repro.core.label import VIA_EDGE, VIA_JUMP, Label, LabelStore, label_sort_key
 from repro.core.query import KORQuery, QueryBinding
 from repro.core.results import KORResult, SearchStats, SearchTrace
@@ -122,6 +123,7 @@ def bucket_bound(
     infrequent_threshold: float = 0.01,
     trace: SearchTrace | None = None,
     binding: QueryBinding | None = None,
+    deadline: Deadline | None = None,
 ) -> KORResult:
     """Answer *query* with Algorithm 2 (approximation ratio ``beta/(1-eps)``)."""
     start = time.perf_counter()
@@ -249,6 +251,8 @@ def bucket_bound(
             trace.record("enqueue", node, new_mask, new_sos, new_os, new_bs, low)
 
     while True:
+        if deadline is not None:
+            deadline.tick()
         frontier = queue.peek_bucket()
         if frontier is None or frontier >= r_hat:
             # Lemma 5: every bucket below r_hat is empty and bucket r_hat

@@ -134,6 +134,10 @@ class KOREngine:
         the per-query index lookups — the serving layer's batch path.
         """
         graph, tables, index = self._graph, self._tables, self._index
+        deadline = params.get("deadline")
+        if deadline is not None:
+            # Refuse to start a search whose caller already gave up.
+            deadline.check()
         candidates = params.pop("candidates", None)
         if candidates is not None and params.get("binding") is None:
             params["binding"] = self.bind(query, candidates=candidates)

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.deadline import Deadline
 from repro.core.query import KORQuery, QueryBinding
 from repro.core.results import KORResult, SearchStats
 from repro.core.route import Route
@@ -62,6 +63,7 @@ def greedy(
     mode: str = "coverage",
     credit_path_keywords: bool = True,
     binding: QueryBinding | None = None,
+    deadline: Deadline | None = None,
 ) -> KORResult:
     """Answer *query* heuristically with Algorithm 3.
 
@@ -163,6 +165,8 @@ def greedy(
         )
 
     def extend(waypoints: tuple[int, ...], mask: int, os: float, bs: float) -> None:
+        if deadline is not None:
+            deadline.tick()
         stats.loops += 1
         if mask == full_mask:
             complete(waypoints, mask, os, bs)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 import time
 
+from repro.core.deadline import Deadline
 from repro.core.label import VIA_EDGE, VIA_JUMP, Label, LabelStore, label_sort_key
 from repro.core.query import KORQuery, QueryBinding
 from repro.core.results import KORResult, SearchStats, SearchTrace
@@ -52,6 +53,7 @@ def os_scaling(
     exact: bool = False,
     trace: SearchTrace | None = None,
     binding: QueryBinding | None = None,
+    deadline: Deadline | None = None,
 ) -> KORResult:
     """Answer *query* with Algorithm 1.
 
@@ -60,6 +62,7 @@ def os_scaling(
     be toggled for ablations.  ``trace`` collects per-label events for the
     worked-example tests.  ``binding`` optionally reuses a pre-built
     query context (see :class:`repro.core.query.QueryBinding`).
+    ``deadline`` arms the per-iteration cancellation checkpoint.
     """
     start = time.perf_counter()
     algorithm = "exact" if exact else "osscaling"
@@ -183,6 +186,8 @@ def os_scaling(
             trace.record("enqueue", node, new_mask, new_sos, new_os, new_bs)
 
     while heap:
+        if deadline is not None:
+            deadline.tick()
         _key, label = heapq.heappop(heap)
         if not label.alive:
             continue

@@ -62,6 +62,8 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     topk_engine=None,
+    max_pending: int | None = None,
+    drain_seconds: float = 5.0,
     **frontend_kwargs,
 ) -> StdlibServer:
     """One-call stdlib deployment of a sync ``QueryService``-shaped service.
@@ -72,7 +74,14 @@ def serve(
     :class:`StdlibServer` owning the front-end, starts it on an
     ephemeral port by default, and returns the running server.  Close
     (or use as a context manager) to drain and stop.
+
+    ``max_pending`` caps concurrently admitted work requests (excess is
+    shed with 503 + ``Retry-After``); ``drain_seconds`` bounds the
+    graceful drain :meth:`StdlibServer.close` performs.
     """
     frontend = AsyncQueryService(service, **frontend_kwargs)
-    app = KORApp(frontend, topk_engine=topk_engine)
-    return StdlibServer(app, host=host, port=port, frontend=frontend).start()
+    app_kwargs = {} if max_pending is None else {"max_pending": max_pending}
+    app = KORApp(frontend, topk_engine=topk_engine, **app_kwargs)
+    return StdlibServer(
+        app, host=host, port=port, frontend=frontend, drain_seconds=drain_seconds
+    ).start()

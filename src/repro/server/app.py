@@ -27,11 +27,31 @@ Endpoints (all JSON, schema-stamped per :mod:`repro.server.schema`):
 ====================  ======  =================================================
 
 Error mapping: malformed payloads and bad parameters (``WireError`` /
-``QueryError``) are 400, per-awaiter timeouts are 504, unknown paths are
-404, wrong methods are 405, anything else is a 500 carrying the
-exception type.  **Every** ``kor.route_result.v1`` document is passed
-through :func:`~repro.server.schema.validate_route_result` before it is
-sent — the server refuses to emit a response it would itself reject.
+``QueryError``) are 400, expired deadlines (``DeadlineExceeded``) and
+per-awaiter timeouts are 504, a shut-down serving tier
+(``ServiceClosed``) is 503, unknown paths are 404, wrong methods are
+405, anything else is a 500 carrying the exception type.  **Every**
+``kor.route_result.v1`` document is passed through
+:func:`~repro.server.schema.validate_route_result` before it is sent —
+the server refuses to emit a response it would itself reject.
+
+Failure containment at the front door:
+
+* **Admission control** — at most ``max_pending`` query-serving
+  requests (``/query`` / ``/batch`` / ``/topk/stream``) are in flight;
+  the next one is *shed* with a 503 + ``Retry-After`` before its body
+  is even read.  Sheds are counted in ``snapshot().shed`` and surfaced
+  by ``/healthz``.
+* **Deadlines** — a request-scoped deadline arrives as the ``timeout``
+  / ``timeout_ms`` body fields or the ``x-kor-timeout-ms`` header (body
+  wins) and propagates down to the engine's search loop.
+* **Graceful drain** — :meth:`KORApp.begin_drain` flips the app into a
+  refuse-new/finish-old mode (503 + ``Retry-After`` for new work;
+  ``/healthz`` reports ``draining``) so a host can empty the request
+  population before closing the frontend.
+* ``/healthz`` reports ``degraded`` when the execution backend has an
+  open circuit-breaker lane (see
+  ``repro.service.backends.ProcessBackend.breaker_stats``).
 
 Per-endpoint request/error counters land in the front-end's
 :class:`~repro.service.stats.ServiceStats` (``snapshot().endpoints``),
@@ -46,7 +66,7 @@ import json
 from dataclasses import asdict
 from typing import Awaitable, Callable
 
-from repro.exceptions import QueryError
+from repro.exceptions import DeadlineExceeded, QueryError, ServiceClosed
 from repro.server.schema import (
     ROUTE_TOPK_SCHEMA,
     SERVICE_STATS_SCHEMA,
@@ -64,6 +84,16 @@ __all__ = ["KORApp"]
 _JSON_HEADERS = [(b"content-type", b"application/json")]
 _NDJSON_HEADERS = [(b"content-type", b"application/x-ndjson")]
 
+#: Endpoints that cost engine work and therefore count against (and can
+#: be refused by) the pending-request budget.
+_WORK_ENDPOINTS = frozenset({"/query", "/batch", "/topk/stream"})
+
+#: Default cap on concurrently admitted work requests.
+DEFAULT_MAX_PENDING = 256
+
+#: What a shed response tells the client to wait before retrying.
+RETRY_AFTER_SECONDS = 1
+
 
 class KORApp:
     """ASGI 3 application serving KOR queries over HTTP.
@@ -80,14 +110,31 @@ class KORApp:
         ``top_k(source, target, keywords, budget_limit, k, ...)``
         contract).  Defaults to the wrapped sync service's ``engine``
         when it has one; without an engine the endpoint answers 501.
+    max_pending:
+        Admission-control budget: the most ``/query`` / ``/batch`` /
+        ``/topk/stream`` requests allowed in flight at once; the next
+        one is shed with a 503 + ``Retry-After``.  A ``/batch`` of 50
+        counts as one admitted request (its queries still queue inside
+        the front-end, which has its own accounting).
     """
 
-    def __init__(self, frontend: AsyncQueryService, topk_engine=None) -> None:
+    def __init__(
+        self,
+        frontend: AsyncQueryService,
+        topk_engine=None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        if max_pending < 1:
+            raise QueryError(f"max_pending must be >= 1, got {max_pending}")
         self._front = frontend
         if topk_engine is None:
             topk_engine = getattr(getattr(frontend, "service", None), "engine", None)
         self._topk_engine = topk_engine
-        self._routes: dict[str, tuple[str, Callable[[bytes], Awaitable[tuple[int, dict]]]]] = {
+        self._max_pending = max_pending
+        # Everything runs on one event loop, so a plain int is exact.
+        self._pending = 0
+        self._draining = False
+        self._routes: dict[str, tuple[str, Callable[[dict, bytes], Awaitable[tuple[int, dict]]]]] = {
             "/healthz": ("GET", self._healthz),
             "/stats": ("GET", self._stats),
             "/query": ("POST", self._query),
@@ -99,6 +146,27 @@ class KORApp:
     def frontend(self) -> AsyncQueryService:
         """The wrapped async front-end."""
         return self._front
+
+    @property
+    def pending(self) -> int:
+        """Work requests currently admitted and not yet answered."""
+        return self._pending
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`begin_drain` has been called."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse new work while admitted requests run to completion.
+
+        From now on every work endpoint answers 503 + ``Retry-After``
+        and ``/healthz`` reports ``draining``; requests already admitted
+        are unaffected.  The host polls :attr:`pending` down to zero
+        before closing the front-end (see
+        :class:`repro.server.stdlib.StdlibServer`).  Irreversible.
+        """
+        self._draining = True
 
     # ------------------------------------------------------------------
     # ASGI entry point
@@ -118,7 +186,13 @@ class KORApp:
                     {"error": {"type": "MethodNotAllowed", "message": "use POST"}},
                 )
                 return
-            await self._topk_stream(scope, receive, send)
+            if await self._shed(send, path):
+                return
+            self._pending += 1
+            try:
+                await self._topk_stream(scope, receive, send)
+            finally:
+                self._pending -= 1
             return
         route = self._routes.get(path)
         if route is None:
@@ -138,29 +212,96 @@ class KORApp:
                 {"error": {"type": "MethodNotAllowed", "message": f"use {expected_method}"}},
             )
             return
-        body = await self._read_body(receive)
+        admitted = path in _WORK_ENDPOINTS
+        if admitted:
+            if await self._shed(send, path):
+                return
+            self._pending += 1
         try:
-            status, payload = await handler(body)
-        except (WireError, QueryError) as error:
-            status, payload = 400, encode_error(error)
-        except asyncio.TimeoutError as error:
-            status, payload = 504, encode_error(error)
-        except asyncio.CancelledError:
-            raise
-        except Exception as error:  # noqa: BLE001 - boundary: map to 500
-            status, payload = 500, encode_error(error)
-        await self._finish(send, path, status, payload)
+            body = await self._read_body(receive)
+            try:
+                status, payload = await handler(scope, body)
+            except DeadlineExceeded as error:
+                # Before the QueryError arm: an expired deadline is the
+                # server running out of time, not the client's fault.
+                status, payload = 504, encode_error(error)
+            except ServiceClosed as error:
+                status, payload = 503, encode_error(error)
+            except (WireError, QueryError) as error:
+                status, payload = 400, encode_error(error)
+            except asyncio.TimeoutError as error:
+                status, payload = 504, encode_error(error)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 - boundary: map to 500
+                status, payload = 500, encode_error(error)
+            await self._finish(send, path, status, payload)
+        finally:
+            if admitted:
+                self._pending -= 1
+
+    async def _shed(self, send, path: str) -> bool:
+        """Refuse *path* (503 + Retry-After) when draining or over budget."""
+        if self._draining:
+            refusal = {
+                "error": {
+                    "type": "Draining",
+                    "message": "server is draining; retry against another instance",
+                }
+            }
+        elif self._pending >= self._max_pending:
+            refusal = {
+                "error": {
+                    "type": "Overloaded",
+                    "message": (
+                        f"pending budget exhausted ({self._max_pending} requests "
+                        "in flight); retry after backoff"
+                    ),
+                }
+            }
+        else:
+            return False
+        self._front.stats.record_shed()
+        await self._finish(
+            send,
+            path,
+            503,
+            refusal,
+            extra_headers=[(b"retry-after", str(RETRY_AFTER_SECONDS).encode())],
+        )
+        return True
 
     # ------------------------------------------------------------------
     # handlers
     # ------------------------------------------------------------------
-    async def _healthz(self, body: bytes) -> tuple[int, dict]:
-        return 200, {
-            "status": "ok",
+    async def _healthz(self, scope, body: bytes) -> tuple[int, dict]:
+        breakers = self._breaker_stats()
+        if self._draining:
+            status = "draining"
+        elif breakers is not None and any(
+            lane["state"] != "closed" for lane in breakers.get("lanes", ())
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        payload = {
+            "status": status,
             "endpoints": sorted(self._routes) + ["/topk/stream"],
+            "pending": self._pending,
+            "max_pending": self._max_pending,
+            "shed": self._front.snapshot().shed,
         }
+        if breakers is not None:
+            payload["breakers"] = breakers
+        return 200, payload
 
-    async def _stats(self, body: bytes) -> tuple[int, dict]:
+    def _breaker_stats(self) -> dict | None:
+        """Circuit-breaker readings of the wrapped service's backend."""
+        backend = getattr(self._front.service, "backend", None)
+        stats = getattr(backend, "breaker_stats", None)
+        return stats() if callable(stats) else None
+
+    async def _stats(self, scope, body: bytes) -> tuple[int, dict]:
         payload = {
             "schema": SERVICE_STATS_SCHEMA,
             "frontend": asdict(self._front.snapshot()),
@@ -171,19 +312,22 @@ class KORApp:
             payload["service"] = asdict(wrapped())
         return 200, payload
 
-    async def _query(self, body: bytes) -> tuple[int, dict]:
+    async def _query(self, scope, body: bytes) -> tuple[int, dict]:
         spec = parse_route_query(_loads(body))
+        timeout = spec["timeout"]
+        if timeout is None:
+            timeout = _header_timeout(scope)
         result = await self._front.submit(
             spec["query"],
             algorithm=spec["algorithm"],
-            timeout=spec["timeout"],
+            timeout=timeout,
             **spec["params"],
         )
         return 200, validate_route_result(
             encode_route_result(result, explain=spec["explain"])
         )
 
-    async def _batch(self, body: bytes) -> tuple[int, dict]:
+    async def _batch(self, scope, body: bytes) -> tuple[int, dict]:
         payload = _loads(body)
         if not isinstance(payload, dict) or not isinstance(payload.get("queries"), list):
             raise WireError("route_batch: body must carry a 'queries' list")
@@ -198,12 +342,15 @@ class KORApp:
                 raise WireError("route_batch: each query must be a JSON object")
             # Batch-level defaults apply unless the slot overrides them.
             specs.append(parse_route_query({**defaults, **item}))
+        header_timeout = _header_timeout(scope)
         outcomes = await asyncio.gather(
             *(
                 self._front.submit(
                     spec["query"],
                     algorithm=spec["algorithm"],
-                    timeout=spec["timeout"],
+                    timeout=(
+                        spec["timeout"] if spec["timeout"] is not None else header_timeout
+                    ),
                     **spec["params"],
                 )
                 for spec in specs
@@ -222,7 +369,7 @@ class KORApp:
                 )
         return 200, encode_batch(items)
 
-    async def _tune(self, body: bytes) -> tuple[int, dict]:
+    async def _tune(self, scope, body: bytes) -> tuple[int, dict]:
         payload = _loads(body)
         if not isinstance(payload, dict):
             raise WireError("tune: body must be a JSON object")
@@ -336,16 +483,26 @@ class KORApp:
             if not message.get("more_body", False):
                 return b"".join(chunks)
 
-    async def _finish(self, send, endpoint: str, status: int, payload: dict) -> None:
+    async def _finish(
+        self,
+        send,
+        endpoint: str,
+        status: int,
+        payload: dict,
+        extra_headers: list[tuple[bytes, bytes]] | None = None,
+    ) -> None:
         """One complete JSON response + the endpoint counter tick."""
         body = json.dumps(payload, allow_nan=False).encode()
+        headers = list(_JSON_HEADERS) + [
+            (b"content-length", str(len(body)).encode())
+        ]
+        if extra_headers:
+            headers.extend(extra_headers)
         await send(
             {
                 "type": "http.response.start",
                 "status": status,
-                "headers": list(_JSON_HEADERS) + [
-                    (b"content-length", str(len(body)).encode())
-                ],
+                "headers": headers,
             }
         )
         await send({"type": "http.response.body", "body": body, "more_body": False})
@@ -357,6 +514,28 @@ def _loads(body: bytes) -> object:
         return json.loads(body or b"null")
     except json.JSONDecodeError as error:
         raise WireError(f"request body is not valid JSON: {error}") from None
+
+
+def _header_timeout(scope) -> float | None:
+    """The ``x-kor-timeout-ms`` request header as seconds, if present.
+
+    Body-level ``timeout`` / ``timeout_ms`` fields take precedence; the
+    header is the transport-level default a proxy or client library can
+    stamp on every request without touching payloads.
+    """
+    for name, value in scope.get("headers") or ():
+        if bytes(name).lower() == b"x-kor-timeout-ms":
+            text = bytes(value).decode("latin-1").strip()
+            try:
+                ms = float(text)
+            except ValueError:
+                raise WireError(
+                    f"x-kor-timeout-ms header must be a number, got {text!r}"
+                ) from None
+            if ms <= 0:
+                raise WireError("x-kor-timeout-ms header must be positive")
+            return ms / 1000.0
+    return None
 
 
 def _line(payload: dict) -> bytes:

@@ -125,6 +125,11 @@ def parse_route_query(payload: object) -> dict:
     "explain": bool, "timeout": float | None}``.  Raises
     :class:`WireError` on any malformed field — the server maps that to
     a 400, never a 500.
+
+    The request deadline may be spelled ``timeout`` (seconds) or
+    ``timeout_ms`` (milliseconds, the header-friendly form) — but not
+    both.  ``params`` may not smuggle a ``deadline``: deadlines are
+    transport-level and travel out-of-band.
     """
     _require(payload, _QUERY_REQUIRED, "route_query")
     schema = payload.get("schema", ROUTE_QUERY_SCHEMA)
@@ -145,6 +150,11 @@ def parse_route_query(payload: object) -> dict:
     params = payload.get("params", {})
     if not isinstance(params, Mapping):
         raise WireError("route_query: 'params' must be a JSON object")
+    if "deadline" in params:
+        raise WireError(
+            "route_query: 'deadline' is not a query parameter; use "
+            "'timeout' / 'timeout_ms' (or the x-kor-timeout-ms header)"
+        )
     explain = payload.get("explain", False)
     if not isinstance(explain, bool):
         raise WireError("route_query: 'explain' must be a boolean")
@@ -153,6 +163,19 @@ def parse_route_query(payload: object) -> dict:
         isinstance(timeout, bool) or not isinstance(timeout, (int, float)) or timeout <= 0
     ):
         raise WireError("route_query: 'timeout' must be a positive number")
+    timeout_ms = payload.get("timeout_ms")
+    if timeout_ms is not None:
+        if timeout is not None:
+            raise WireError(
+                "route_query: give 'timeout' or 'timeout_ms', not both"
+            )
+        if (
+            isinstance(timeout_ms, bool)
+            or not isinstance(timeout_ms, (int, float))
+            or timeout_ms <= 0
+        ):
+            raise WireError("route_query: 'timeout_ms' must be a positive number")
+        timeout = float(timeout_ms) / 1000.0
     return {
         "query": KORQuery(
             int(payload["source"]), int(payload["target"]), tuple(keywords), budget
@@ -196,6 +219,10 @@ def encode_route_result(result: KORResult, explain: bool = False) -> dict:
         "route": [int(node) for node in route.nodes] if route is not None else None,
         "failure_reason": result.failure_reason,
     }
+    if result.degraded:
+        # v1-compatible extension: the key appears only on degraded
+        # answers, so normal responses stay byte-identical to before.
+        payload["degraded"] = True
     if explain:
         payload["explain"] = {"search": asdict(result.stats)}
     return payload
@@ -251,6 +278,8 @@ def validate_route_result(payload: object) -> dict:
             "route_result: 'feasible' must equal found and covers_keywords "
             "and within_budget"
         )
+    if "degraded" in payload and not isinstance(payload["degraded"], bool):
+        raise WireError("route_result: 'degraded' must be a boolean when present")
     if "explain" in payload and not isinstance(payload["explain"], Mapping):
         raise WireError("route_result: 'explain' must be a JSON object when present")
     return dict(payload)
@@ -293,6 +322,7 @@ def decode_route_result(payload: Mapping) -> KORResult:
         within_budget=payload["within_budget"],
         stats=stats,
         failure_reason=payload["failure_reason"],
+        degraded=payload.get("degraded", False),
     )
 
 

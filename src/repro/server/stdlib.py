@@ -223,10 +223,27 @@ class StdlibServer:
         server *owns*: :meth:`close` drains it on the server's event
         loop before stopping (the loop its flights live on — closing it
         anywhere else would touch foreign-loop futures).
+    drain_seconds:
+        Graceful-drain budget: before stopping, :meth:`close` flips an
+        app exposing ``begin_drain()`` into refuse-new mode (503 +
+        ``Retry-After``; ``/healthz`` says ``draining``) and waits up to
+        this long for its ``pending`` count to hit zero, so admitted
+        requests finish instead of dying with the socket.  ``0`` skips
+        the wait (the drain flag still flips).
     """
 
-    def __init__(self, app, host: str = "127.0.0.1", port: int = 0, frontend=None) -> None:
+    def __init__(
+        self,
+        app,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        frontend=None,
+        drain_seconds: float = 5.0,
+    ) -> None:
+        if drain_seconds < 0.0:
+            raise ValueError(f"drain_seconds must be >= 0, got {drain_seconds}")
         self._frontend = frontend
+        self._drain_seconds = drain_seconds
         self._loop = asyncio.new_event_loop()
         self._loop_thread = threading.Thread(
             target=self._run_loop, name="kor-server-loop", daemon=True
@@ -268,12 +285,34 @@ class StdlibServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    def drain(self, timeout: float | None = None) -> bool:
+        """Refuse new work and wait for admitted requests to finish.
+
+        Returns True when the app's pending count reached zero within
+        *timeout* (default: the server's ``drain_seconds``).  A no-op
+        True for apps without drain support.  Safe to call repeatedly;
+        :meth:`close` calls it automatically.
+        """
+        app = self._httpd.app
+        begin_drain = getattr(app, "begin_drain", None)
+        if not callable(begin_drain):
+            return True
+        begin_drain()
+        budget = self._drain_seconds if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while getattr(app, "pending", 0) > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+        return True
+
     def close(self) -> None:
-        """Stop serving, drain the owned frontend, stop the loop."""
+        """Drain the app, stop serving, drain the owned frontend, stop the loop."""
         if self._closed:
             return
         self._closed = True
         if self._started:
+            self.drain()
             self._httpd.shutdown()
         self._httpd.server_close()
         if self._started:

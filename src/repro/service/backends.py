@@ -43,6 +43,19 @@ and per-worker build/eviction counters are introspectable
 spills to the least-loaded lane; a lane whose worker died is rebuilt and
 the task retried once, transparently.
 
+Repeated deaths trip a per-lane **circuit breaker**: after
+``breaker_threshold`` consecutive dead-worker retires the lane stops
+admitting work for ``breaker_backoff_seconds`` (pinned traffic spills to
+healthy lanes), then a single half-open probe task decides whether the
+lane re-admits or re-opens.  Breaker transitions are counted in
+:meth:`ProcessBackend.breaker_stats`.
+
+Deterministic fault injection (:mod:`repro.service.faults`) hooks both
+tiers: :func:`run_task_on_engine` applies task-side delay/error rules,
+and ``ProcessBackend`` applies dispatch-side worker-kill rules — both
+behind a single module-global None check, so the hot path pays nothing
+when no plan is installed.
+
 All backends return outcomes **in task submission order**, so callers
 get deterministic slot assignment no matter how many workers raced, and
 a task that raises is reported through its own :class:`TaskOutcome`
@@ -71,10 +84,12 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from repro.core.deadline import Deadline
 from repro.core.engine import KOREngine
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
 from repro.exceptions import QueryError
+from repro.service import faults
 
 __all__ = [
     "DEFAULT_WORKERS",
@@ -95,6 +110,12 @@ DEFAULT_WORKERS = 4
 #: How much deeper a pinned lane's queue may run than the least-loaded
 #: lane before a task spills off its pin (counted as a pin miss).
 DEFAULT_SPILL_MARGIN = 8
+
+#: Consecutive dead-worker failures that open a lane's circuit breaker.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: How long an open breaker refuses traffic before a half-open probe.
+DEFAULT_BREAKER_BACKOFF_SECONDS = 1.0
 
 _HANDLE_COUNTER = itertools.count()
 
@@ -174,6 +195,10 @@ class ShardTask:
     query: KORQuery
     algorithm: str
     params: tuple[tuple[str, object], ...] = ()
+    #: Out-of-band cancellation deadline.  Deliberately *not* part of
+    #: ``params``: cache keys and wave grouping must not see it, and its
+    #: identity hash keeps the frozen task hashable.
+    deadline: Deadline | None = None
 
     @classmethod
     def build(
@@ -182,10 +207,13 @@ class ShardTask:
         query: KORQuery,
         algorithm: str,
         params: Mapping[str, object] | None = None,
+        deadline: Deadline | None = None,
     ) -> "ShardTask":
         """Normalise a params mapping into task form."""
         items = tuple(sorted(params.items())) if params else ()
-        return cls(shard=shard, query=query, algorithm=algorithm, params=items)
+        return cls(
+            shard=shard, query=query, algorithm=algorithm, params=items, deadline=deadline
+        )
 
 
 @dataclass
@@ -211,7 +239,15 @@ def run_task_on_engine(engine: KOREngine, task: ShardTask) -> TaskOutcome:
     """Execute *task* against a live *engine*, capturing error and timing."""
     begin = time.perf_counter()
     try:
-        result = engine.run(task.query, algorithm=task.algorithm, **dict(task.params))
+        # Fault hook: one global load + None check when no plan is
+        # installed — the zero-overhead-when-off contract.
+        plan = faults._ACTIVE
+        if plan is not None:
+            plan.on_task(task)
+        params = dict(task.params)
+        if task.deadline is not None:
+            params["deadline"] = task.deadline
+        result = engine.run(task.query, algorithm=task.algorithm, **params)
         return TaskOutcome(result=result, latency_seconds=time.perf_counter() - begin)
     except Exception as error:  # noqa: BLE001 - reported per task
         return TaskOutcome(error=error, latency_seconds=time.perf_counter() - begin)
@@ -278,15 +314,27 @@ _WORKER_STATE: dict = {
 
 
 def _process_worker_init(
-    handles: tuple[EngineHandle, ...], engine_budget: int | None
+    handles: tuple[EngineHandle, ...],
+    engine_budget: int | None,
+    fault_rules: tuple = (),
 ) -> None:
-    """Pool initializer: install this generation's handles and budget."""
+    """Pool initializer: install this generation's handles and budget.
+
+    ``fault_rules`` ships the active fault plan's task-side rules into
+    the worker, where the parent's module global is invisible; the
+    worker installs its own plan over them so ``run_task_on_engine``'s
+    single hook covers every backend.
+    """
     _WORKER_STATE["handles"] = {handle.key: handle for handle in handles}
     _WORKER_STATE["engines"] = OrderedDict()
     _WORKER_STATE["weights"] = {}
     _WORKER_STATE["budget"] = engine_budget
     _WORKER_STATE["builds"] = {}
     _WORKER_STATE["evictions"] = 0
+    if fault_rules:
+        faults.install(faults.FaultPlan(fault_rules))
+    else:
+        faults.clear()
 
 
 def _worker_engine(key: str) -> KOREngine:
@@ -711,6 +759,12 @@ class _Lane:
     #: when the lane is rebuilt) — a parent-side proxy for which engines
     #: the worker has warm.
     seen: set = field(default_factory=set)
+    #: Circuit-breaker state: consecutive dead-worker failures, the
+    #: monotonic instant before which the breaker refuses traffic
+    #: (0.0 = closed), and whether a half-open probe is in flight.
+    failures: int = 0
+    open_until: float = 0.0
+    probing: bool = False
 
 
 class ProcessBackend(ExecutionBackend):
@@ -750,6 +804,8 @@ class ProcessBackend(ExecutionBackend):
         max_in_flight: int | None = None,
         max_worker_engine_bytes: int | None = None,
         spill_margin: int = DEFAULT_SPILL_MARGIN,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_backoff_seconds: float = DEFAULT_BREAKER_BACKOFF_SECONDS,
     ) -> None:
         super().__init__(max_in_flight=max_in_flight)
         if workers is not None and workers < 1:
@@ -760,6 +816,12 @@ class ProcessBackend(ExecutionBackend):
             )
         if spill_margin < 0:
             raise QueryError(f"spill_margin must be >= 0, got {spill_margin}")
+        if breaker_threshold < 1:
+            raise QueryError(f"breaker_threshold must be >= 1, got {breaker_threshold}")
+        if breaker_backoff_seconds <= 0:
+            raise QueryError(
+                f"breaker_backoff_seconds must be > 0, got {breaker_backoff_seconds}"
+            )
         if workers is None:
             try:
                 workers = len(os.sched_getaffinity(0))
@@ -769,6 +831,8 @@ class ProcessBackend(ExecutionBackend):
         self._start_method = start_method
         self._max_worker_engine_bytes = max_worker_engine_bytes
         self._spill_margin = spill_margin
+        self._breaker_threshold = breaker_threshold
+        self._breaker_backoff_seconds = breaker_backoff_seconds
         self._route_lock = threading.Lock()
         self._lanes = [_Lane(index=i) for i in range(workers)]
         self._pins: dict[str, int] = {}
@@ -777,6 +841,12 @@ class ProcessBackend(ExecutionBackend):
             "hits": 0,
             "misses": 0,
             "dead_worker_fallbacks": 0,
+        }
+        self._breaker_counters = {
+            "opened": 0,
+            "closed": 0,
+            "half_open_probes": 0,
+            "short_circuits": 0,
         }
 
     # -- lane plumbing -------------------------------------------------
@@ -793,7 +863,11 @@ class ProcessBackend(ExecutionBackend):
                 max_workers=1,
                 mp_context=self._mp_context(),
                 initializer=_process_worker_init,
-                initargs=(tuple(self._handles.values()), self._max_worker_engine_bytes),
+                initargs=(
+                    tuple(self._handles.values()),
+                    self._max_worker_engine_bytes,
+                    faults.worker_rules(),
+                ),
             )
             lane.seen = set()
         return lane.executor
@@ -818,34 +892,84 @@ class ProcessBackend(ExecutionBackend):
             lane.generation += 1
             if dead_worker:
                 self._pin_counters["dead_worker_fallbacks"] += 1
+                lane.failures += 1
+                lane.probing = False
+                if lane.failures >= self._breaker_threshold:
+                    if lane.open_until == 0.0:
+                        self._breaker_counters["opened"] += 1
+                    lane.open_until = time.monotonic() + self._breaker_backoff_seconds
+            else:
+                # Deliberate retire (registry change, close): breaker
+                # state describes a worker that no longer exists.
+                lane.failures = 0
+                lane.open_until = 0.0
+                lane.probing = False
         if executor is not None:
             # wait=False: a broken pool has nothing orderly left to wait
             # for, and a healthy one (registry change) drains on its own.
             executor.shutdown(wait=False)
 
+    def _admitting_lanes_locked(self) -> list[_Lane]:
+        """Lanes whose breaker admits traffic right now.
+
+        Closed lanes always admit; an open lane past its backoff admits
+        one half-open probe at a time (``probing`` gates the stampede).
+        When *every* lane is open, the earliest-open lane is force-probed
+        — routing must never deadlock on an all-open backend.
+        """
+        now = time.monotonic()
+        admitted = [
+            lane
+            for lane in self._lanes
+            if lane.open_until == 0.0
+            or (now >= lane.open_until and not lane.probing)
+        ]
+        if not admitted:
+            admitted = [min(self._lanes, key=lambda lane: (lane.open_until, lane.index))]
+        return admitted
+
     def _route_locked(self, shard: str) -> _Lane:
         """Pick the lane for one task (caller holds the route lock)."""
-        lanes = self._lanes
+        lanes = self._admitting_lanes_locked()
+        admitted = {lane.index for lane in lanes}
         least = min(lanes, key=lambda lane: (lane.pending, lane.index))
+        chosen: _Lane
         pinned_index = self._pins.get(shard)
         if pinned_index is None:
             self._pins[shard] = least.index
             self._pin_counters["assignments"] += 1
-            return least
-        pinned = lanes[pinned_index]
-        if pinned.pending - least.pending > self._spill_margin:
-            # Saturated pin: prefer a lane that has already seen this
-            # shard (its worker likely holds the engine warm) before
-            # paying a cold build on the least-loaded lane.
-            warm = [
-                lane
-                for lane in lanes
-                if shard in lane.seen and pinned.pending - lane.pending > self._spill_margin
-            ]
+            chosen = least
+        elif pinned_index not in admitted:
+            # The pin's breaker is open: spill to a healthy lane without
+            # re-pinning — the pin re-admits when the breaker closes.
+            self._breaker_counters["short_circuits"] += 1
             self._pin_counters["misses"] += 1
-            return min(warm, key=lambda lane: (lane.pending, lane.index)) if warm else least
-        self._pin_counters["hits"] += 1
-        return pinned
+            chosen = least
+        else:
+            pinned = self._lanes[pinned_index]
+            if pinned.pending - least.pending > self._spill_margin:
+                # Saturated pin: prefer a lane that has already seen this
+                # shard (its worker likely holds the engine warm) before
+                # paying a cold build on the least-loaded lane.
+                warm = [
+                    lane
+                    for lane in lanes
+                    if shard in lane.seen
+                    and pinned.pending - lane.pending > self._spill_margin
+                ]
+                self._pin_counters["misses"] += 1
+                chosen = (
+                    min(warm, key=lambda lane: (lane.pending, lane.index))
+                    if warm
+                    else least
+                )
+            else:
+                self._pin_counters["hits"] += 1
+                chosen = pinned
+        if chosen.open_until > 0.0 and not chosen.probing:
+            chosen.probing = True
+            self._breaker_counters["half_open_probes"] += 1
+        return chosen
 
     # -- registry / lifecycle ------------------------------------------
     def _on_registry_change(self) -> None:
@@ -862,6 +986,9 @@ class ProcessBackend(ExecutionBackend):
                 lane.pending = 0
                 lane.seen = set()
                 lane.generation += 1
+                lane.failures = 0
+                lane.open_until = 0.0
+                lane.probing = False
             if executor is not None:
                 executor.shutdown(wait=True)
 
@@ -888,6 +1015,12 @@ class ProcessBackend(ExecutionBackend):
             generation = lane.generation
             lane.pending += 1
             lane.seen.add(task.shard)
+        plan = faults._ACTIVE
+        if plan is not None:
+            # Parent-side kill faults fire here, where the routed lane's
+            # worker pid is known — the submit below then trips the
+            # dead-worker retry (and, repeated, the breaker).
+            plan.on_dispatch(lane.index, executor, task)
         try:
             inner = executor.submit(_process_run_task, task)
         except (BrokenProcessPool, RuntimeError) as error:
@@ -915,9 +1048,18 @@ class ProcessBackend(ExecutionBackend):
         inner: Future,
         retried: bool,
     ) -> None:
+        worked = not inner.cancelled() and inner.exception() is None
         with self._route_lock:
             if lane.generation == generation:
                 lane.pending -= 1
+                if worked and (lane.failures or lane.open_until or lane.probing):
+                    # A completed task on this executor generation proves
+                    # the worker is healthy: close the breaker.
+                    if lane.open_until > 0.0 or lane.probing:
+                        self._breaker_counters["closed"] += 1
+                    lane.failures = 0
+                    lane.open_until = 0.0
+                    lane.probing = False
         if inner.cancelled():
             if not outer.cancel():
                 _try_resolve(
@@ -949,6 +1091,25 @@ class ProcessBackend(ExecutionBackend):
         """Parent-side warm-pinning counters (see class docstring)."""
         with self._route_lock:
             return dict(self._pin_counters)
+
+    def breaker_stats(self) -> dict:
+        """Circuit-breaker transition counters plus per-lane state."""
+        now = time.monotonic()
+        with self._route_lock:
+            lanes = [
+                {
+                    "lane": lane.index,
+                    "state": (
+                        "closed"
+                        if lane.open_until == 0.0
+                        else ("half_open" if now >= lane.open_until else "open")
+                    ),
+                    "failures": lane.failures,
+                    "probing": lane.probing,
+                }
+                for lane in self._lanes
+            ]
+            return {**self._breaker_counters, "lanes": lanes}
 
     def worker_stats(self, timeout: float = 60.0) -> dict[int, dict]:
         """Per-lane worker counters (pid, builds, resident engines,

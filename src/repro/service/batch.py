@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+from repro.core.deadline import Deadline
 from repro.core.engine import KOREngine
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
@@ -44,6 +45,7 @@ from repro.service.backends import (
     ThreadBackend,
 )
 from repro.service.cache import UNCACHEABLE_PARAMS, ResultCache, canonical_cache_key
+from repro.service import faults
 
 __all__ = ["BatchError", "BatchItem", "BatchReport", "execute_batch"]
 
@@ -187,6 +189,7 @@ def execute_batch(
     params: dict | None = None,
     backend: ExecutionBackend | None = None,
     handle: EngineHandle | None = None,
+    deadline: Deadline | None = None,
 ) -> BatchReport:
     """Run *queries* through *engine* with caching and shared candidates.
 
@@ -194,7 +197,11 @@ def execute_batch(
     :class:`~repro.service.backends.ThreadBackend`, the pre-backend
     behaviour).  An out-of-process backend additionally needs ``handle``
     — the engine's registered :class:`EngineHandle` — so tasks can name
-    the engine across the process boundary.
+    the engine across the process boundary.  ``deadline``, when given,
+    travels out-of-band into every unit's engine run (it never enters
+    cache keys); a slot whose search outlives it fails with
+    :class:`~repro.exceptions.DeadlineExceeded` without disturbing its
+    neighbours, and nothing about it is cached.
     """
     params = dict(params or {})
     if "binding" in params or "candidates" in params:
@@ -203,6 +210,13 @@ def execute_batch(
         raise QueryError(
             "'binding'/'candidates' cannot be passed to a batch: they are "
             "per-query; use engine.run() directly to supply them"
+        )
+    if "deadline" in params:
+        # Deadlines travel out-of-band (the ``deadline=`` argument) so
+        # cache keys and wave grouping never see them.
+        raise QueryError(
+            "'deadline' is not a query parameter; pass deadline= to the "
+            "service call instead"
         )
     begin = time.perf_counter()
     queries = list(queries)
@@ -221,9 +235,20 @@ def execute_batch(
             backend = owned = ThreadBackend(workers if workers is not None else DEFAULT_WORKERS)
         try:
             if backend.in_process:
-                _compute_in_process(engine, units, algorithm, params, backend, workers)
+                _compute_in_process(
+                    engine,
+                    units,
+                    algorithm,
+                    params,
+                    backend,
+                    workers,
+                    deadline,
+                    shard=handle.key if handle is not None else "local",
+                )
             else:
-                _compute_on_backend(units, algorithm, params, backend, handle, workers)
+                _compute_on_backend(
+                    units, algorithm, params, backend, handle, workers, deadline
+                )
         finally:
             if owned is not None:
                 owned.close()
@@ -241,6 +266,14 @@ def execute_batch(
     return BatchReport(items=items, wall_seconds=time.perf_counter() - begin)
 
 
+@dataclass(frozen=True)
+class _LocalTask:
+    """What an in-process unit looks like to a fault plan's task hook."""
+
+    shard: str
+    query: KORQuery
+
+
 def _compute_in_process(
     engine: KOREngine,
     units: list[_Unit],
@@ -248,16 +281,25 @@ def _compute_in_process(
     params: dict,
     backend: ExecutionBackend,
     workers: int | None,
+    deadline: Deadline | None = None,
+    shard: str = "local",
 ) -> None:
     """Closure path: shared candidate map, live engine, backend.map."""
     # One index pass for the whole batch: the union of every miss
     # query's keywords, resolved to candidate node sets exactly once.
     words = {word for unit in units for word in unit.query.keywords}
     candidates = engine.candidate_sets(words) if words else {}
+    if deadline is not None:
+        params = {**params, "deadline": deadline}
 
     def compute(unit: _Unit) -> None:
         unit_begin = time.perf_counter()
         try:
+            # Same fault hook as run_task_on_engine: one global load
+            # plus a None check when no plan is installed.
+            plan = faults._ACTIVE
+            if plan is not None:
+                plan.on_task(_LocalTask(shard, unit.query))
             binding = engine.bind(unit.query, candidates=candidates)
             unit.result = engine.run(
                 unit.query, algorithm=algorithm, binding=binding, **params
@@ -276,6 +318,7 @@ def _compute_on_backend(
     backend: ExecutionBackend,
     handle: EngineHandle | None,
     workers: int | None,
+    deadline: Deadline | None = None,
 ) -> None:
     """Task path: picklable ShardTasks against the engine's handle."""
     if handle is None:
@@ -291,7 +334,8 @@ def _compute_on_backend(
             "on an in-process backend (serial/thread) or engine.run()"
         )
     tasks = [
-        ShardTask.build(handle.key, unit.query, algorithm, params) for unit in units
+        ShardTask.build(handle.key, unit.query, algorithm, params, deadline=deadline)
+        for unit in units
     ]
     outcomes = backend.run_tasks(tasks, workers=workers)
     for unit, outcome in zip(units, outcomes):

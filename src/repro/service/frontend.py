@@ -27,11 +27,17 @@ submit → coalesce → micro-batch → scatter
 Per-request **timeouts and cancellation** detach the awaiter
 immediately; when the *last* awaiter of a flight detaches before its
 wave dispatched, the flight is dropped and its shard tasks are never
-submitted — cancellation propagates all the way down to the backend.  A
-wave already running completes in the background (its results still
-land in the sync cache; they were correct when computed), but nothing
-is ever cached *because* of a timeout and nothing about a timeout
-poisons the stats.
+submitted — cancellation propagates all the way down to the backend.
+Each flight also carries a cooperative
+:class:`~repro.core.deadline.Deadline` derived from the loosest awaiter
+timeout (an awaiter without one unbounds the flight): the wave forwards
+it into the engine's search loop, so a wave whose every awaiter set a
+timeout genuinely *stops computing* once the loosest one expires
+(:class:`~repro.exceptions.DeadlineExceeded`) instead of burning a
+worker on an answer nobody will read.  An unbounded wave still
+completes in the background (its results land in the sync cache; they
+were correct when computed), but nothing is ever cached *because* of a
+timeout and nothing about a timeout poisons the stats.
 
 Results are byte-identical to the wrapped sync service's — the frontend
 adds scheduling, never semantics (backed by the asyncio differential
@@ -46,9 +52,10 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Hashable, Iterable, Sequence
 
+from repro.core.deadline import Deadline
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, ServiceClosed
 from repro.service.batch import batch_keys
 from repro.service.stats import ServiceStats, StatsSnapshot
 
@@ -64,6 +71,10 @@ class _Flight:
     params: tuple[tuple[str, object], ...]
     key: Hashable | None
     future: asyncio.Future
+    #: The loosest deadline any awaiter asked for (None = unbounded; a
+    #: joiner without a timeout relaxes the whole flight, because the
+    #: shared computation must satisfy its most patient awaiter).
+    deadline: Deadline | None = None
     waiters: int = 0
     dispatched: bool = False
     abandoned: bool = False
@@ -306,15 +317,25 @@ class AsyncQueryService:
         concurrent submissions share one ``execute`` wave.  ``timeout``
         (seconds) raises :class:`asyncio.TimeoutError` for *this*
         awaiter only — see the module docstring for what the shared
-        flight does afterwards.
+        flight does afterwards.  The timeout also becomes the flight's
+        cooperative :class:`~repro.core.deadline.Deadline`, propagated
+        down to the engine's search loop so an expired wave actually
+        stops computing instead of burning a worker (the search then
+        fails with :class:`~repro.exceptions.DeadlineExceeded`).  A
+        flight shared by awaiters with different timeouts carries the
+        loosest one; any awaiter *without* a timeout unbounds it.
+
+        Submitting to a closed service raises
+        :class:`~repro.exceptions.ServiceClosed`.
         """
         if self._closed:
-            raise QueryError("AsyncQueryService is closed")
+            raise ServiceClosed("AsyncQueryService is closed")
         begin = time.perf_counter()
         self._wave_stats.requests += 1
         if self._adaptive_target is not None:
             self._observe_arrival(begin)
-        flight, joined = self._enlist(query, algorithm, params)
+        deadline = Deadline.after(timeout) if timeout is not None else None
+        flight, joined = self._enlist(query, algorithm, params, deadline)
         flight.waiters += 1
         self._stats.record_queue_depth(len(self._pending) + len(self._waves))
         try:
@@ -381,7 +402,11 @@ class AsyncQueryService:
     # internals
     # ------------------------------------------------------------------
     def _enlist(
-        self, query: KORQuery, algorithm: str, params: dict
+        self,
+        query: KORQuery,
+        algorithm: str,
+        params: dict,
+        deadline: Deadline | None,
     ) -> tuple[_Flight, bool]:
         """The live flight for this request (joined=True), or a new one."""
         # batch_keys owns the cacheability rules (uncacheable params,
@@ -390,6 +415,9 @@ class AsyncQueryService:
         if key is not None:
             live = self._pending.get(key)
             if live is not None and not live.future.done():
+                # Joining extends (or unbounds) the shared deadline —
+                # the flight must outlive its most patient awaiter.
+                live.deadline = Deadline.latest(live.deadline, deadline)
                 self._stats.record_coalesced()
                 return live, True
         loop = asyncio.get_running_loop()
@@ -399,6 +427,7 @@ class AsyncQueryService:
             params=tuple(sorted(params.items())),
             key=key,
             future=loop.create_future(),
+            deadline=deadline,
         )
         self._wave_stats.flights += 1
         if key is not None:
@@ -464,6 +493,12 @@ class AsyncQueryService:
         """One blocking ``execute`` call, scattered back to its flights."""
         algorithm = flights[0].algorithm
         params = dict(flights[0].params)
+        # The wave computes once for every flight in it, so it runs on
+        # the *loosest* flight deadline: any unbounded flight unbounds
+        # the wave.  Tighter awaiters still time out individually.
+        deadline = flights[0].deadline
+        for flight in flights[1:]:
+            deadline = Deadline.latest(deadline, flight.deadline)
         loop = asyncio.get_running_loop()
         try:
             report = await loop.run_in_executor(
@@ -472,6 +507,7 @@ class AsyncQueryService:
                     self._service.execute,
                     [flight.query for flight in flights],
                     algorithm=algorithm,
+                    deadline=deadline,
                     **params,
                 ),
             )
@@ -507,11 +543,14 @@ class AsyncQueryService:
     async def close(self) -> None:
         """Stop admitting, flush nothing new, and drain in-flight waves.
 
-        Queued-but-undispatched flights are cancelled (their awaiters
-        see :class:`asyncio.CancelledError`); waves already running are
-        awaited so the wrapped service is quiescent on return.  With
-        ``close_service=True`` the wrapped sync service's ``close()``
-        (when it has one) is called too.  Idempotent.
+        Queued-but-undispatched flights fail with
+        :class:`~repro.exceptions.ServiceClosed` — a *distinct* error,
+        not a bare cancellation, so their awaiters can tell "the service
+        shut down under me" (retry elsewhere) from "my own caller gave
+        up" (don't).  Waves already running are awaited so the wrapped
+        service is quiescent on return.  With ``close_service=True`` the
+        wrapped sync service's ``close()`` (when it has one) is called
+        too.  Idempotent.
         """
         if self._closed:
             return
@@ -524,7 +563,11 @@ class AsyncQueryService:
             if flight.key is not None and self._pending.get(flight.key) is flight:
                 del self._pending[flight.key]
             if not flight.future.done():
-                flight.future.cancel()
+                flight.future.set_exception(
+                    ServiceClosed(
+                        "AsyncQueryService closed before this query dispatched"
+                    )
+                )
         if self._waves:
             await asyncio.gather(*tuple(self._waves), return_exceptions=True)
         if self._close_service:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, Sequence
 
+from repro.core.deadline import Deadline
 from repro.core.engine import ALGORITHMS, KOREngine
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
@@ -32,7 +33,8 @@ from repro.service.backends import (
     EngineHandle,
     ExecutionBackend,
 )
-from repro.service.batch import BatchReport, execute_batch
+from repro.service.batch import BatchReport, _LocalTask, execute_batch
+from repro.service import faults
 from repro.service.cache import UNCACHEABLE_PARAMS, ResultCache, canonical_cache_key
 from repro.service.stats import ServiceStats, StatsSnapshot
 
@@ -170,7 +172,11 @@ class QueryService:
         )
 
     def submit(
-        self, query: KORQuery, algorithm: str = "bucketbound", **params
+        self,
+        query: KORQuery,
+        algorithm: str = "bucketbound",
+        deadline: Deadline | None = None,
+        **params,
     ) -> KORResult:
         """Answer a pre-built query, serving repeats from the cache.
 
@@ -180,27 +186,41 @@ class QueryService:
         always compute in the calling thread — backends only pay off on
         batches.
 
+        ``deadline`` travels out-of-band: it reaches the engine run but
+        never the cache key, so a deadline-carrying repeat still hits the
+        cache, and a search that outlives its deadline fails with
+        :class:`~repro.exceptions.DeadlineExceeded` without caching
+        anything.
+
         Cacheable misses are **single-flight protected**: concurrent
         submissions of the same canonical key fold into one engine run
         (see :meth:`repro.service.cache.ResultCache.get_or_compute`);
         the waiters count as coalesced cache-served queries.
         """
+        if "deadline" in params:
+            raise QueryError(
+                "'deadline' is not a query parameter; pass deadline= to the "
+                "service call instead"
+            )
         begin = time.perf_counter()
         cacheable = not (UNCACHEABLE_PARAMS & params.keys())
         key = canonical_cache_key(query, algorithm, params) if cacheable else None
         epoch = self._cache.epoch if cacheable else None
+        compute_params = params if deadline is None else {**params, "deadline": deadline}
+
+        def compute() -> KORResult:
+            # Same fault hook as the batch paths: one global load plus a
+            # None check when no plan is installed.
+            plan = faults._ACTIVE
+            if plan is not None:
+                plan.on_task(_LocalTask(self._handle.key, query))
+            return self._engine.run(query, algorithm=algorithm, **compute_params)
+
         try:
             if cacheable:
-                result, how = self._cache.get_or_compute(
-                    key,
-                    lambda: self._engine.run(query, algorithm=algorithm, **params),
-                    epoch=epoch,
-                )
+                result, how = self._cache.get_or_compute(key, compute, epoch=epoch)
             else:
-                result, how = (
-                    self._engine.run(query, algorithm=algorithm, **params),
-                    "computed",
-                )
+                result, how = compute(), "computed"
         except Exception:
             self._stats.record_error()
             self._stats.record_busy(time.perf_counter() - begin)
@@ -220,13 +240,15 @@ class QueryService:
         queries: Sequence[KORQuery],
         algorithm: str = "bucketbound",
         workers: int | None = None,
+        deadline: Deadline | None = None,
         **params,
     ) -> BatchReport:
         """Run a batch, returning the full per-slot :class:`BatchReport`.
 
         Failed slots carry their exception; successful slots are cached
         and unaffected.  Slot order is the submission order regardless of
-        ``workers`` or backend.
+        ``workers`` or backend.  ``deadline`` (out-of-band, never in
+        cache keys) bounds every slot's search.
         """
         if algorithm not in ALGORITHMS:
             raise QueryError(
@@ -241,6 +263,7 @@ class QueryService:
             params=params,
             backend=self._backend,
             handle=self._handle,
+            deadline=deadline,
         )
         for item in report.items:
             if item.ok:
@@ -255,6 +278,7 @@ class QueryService:
         queries: Sequence[KORQuery],
         algorithm: str = "bucketbound",
         workers: int | None = None,
+        deadline: Deadline | None = None,
         **params,
     ) -> list[KORResult]:
         """Run a batch and return its results in submission order.
@@ -263,5 +287,9 @@ class QueryService:
         report) when any slot failed.
         """
         return self.execute(
-            queries, algorithm=algorithm, workers=workers, **params
+            queries,
+            algorithm=algorithm,
+            workers=workers,
+            deadline=deadline,
+            **params,
         ).results()

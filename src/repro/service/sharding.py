@@ -55,11 +55,12 @@ from __future__ import annotations
 import itertools
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.deadline import Deadline
 from repro.core.engine import ALGORITHMS, KOREngine
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
@@ -407,6 +408,7 @@ class ShardedQueryService:
             within_budget=result.within_budget,
             stats=result.stats,
             failure_reason=result.failure_reason,
+            degraded=result.degraded,
         )
 
     # ------------------------------------------------------------------
@@ -429,19 +431,27 @@ class ShardedQueryService:
         )
 
     def submit(
-        self, query: KORQuery, algorithm: str = "bucketbound", **params
+        self,
+        query: KORQuery,
+        algorithm: str = "bucketbound",
+        deadline: Deadline | None = None,
+        **params,
     ) -> KORResult:
         """Answer a pre-built query (a batch of one, sharing all paths).
 
         Cacheable submissions are single-flight protected: concurrent
         identical misses fold into one scatter wave, with the waiters
         served the leader's (already cached, already global-id) result.
+        ``deadline`` travels out-of-band: it bounds the scatter wave but
+        never enters the cache key.
         """
         begin = time.perf_counter()
         cacheable, keys = batch_keys([query], algorithm, dict(params))
 
         def compute() -> KORResult:
-            report = self.execute([query], algorithm=algorithm, **params)
+            report = self.execute(
+                [query], algorithm=algorithm, deadline=deadline, **params
+            )
             item = report.items[0]
             if item.error is not None:
                 raise item.error
@@ -470,6 +480,7 @@ class ShardedQueryService:
         queries: Sequence[KORQuery],
         algorithm: str = "bucketbound",
         workers: int | None = None,
+        deadline: Deadline | None = None,
         **params,
     ) -> BatchReport:
         """Run a batch through routing, the backend and the cache.
@@ -479,6 +490,14 @@ class ShardedQueryService:
         cross-cell attempt concurrently; feasible outcomes merge by
         objective score, ties preferring the cell engine.  Slot order is
         submission order; one failing query marks only its own slot.
+
+        ``deadline`` bounds every attempt of the wave.  When the
+        cross-cell attempt dies (deadline, injected fault, dead worker)
+        but the cell-local attempt produced a feasible route, the cell
+        answer stands in, flagged ``degraded=True`` — it is genuinely
+        feasible (a subgraph route is a full-graph route) but only the
+        border engine's verdict speaks for global optimality.  A wave
+        whose cross attempt *completed* never degrades.
         """
         if algorithm not in ALGORITHMS:
             raise QueryError(
@@ -488,6 +507,11 @@ class ShardedQueryService:
             raise QueryError(
                 "'binding'/'candidates' cannot be passed to a sharded batch: "
                 "they are per-query state bound to one engine's node ids"
+            )
+        if "deadline" in params:
+            raise QueryError(
+                "'deadline' is not a query parameter; pass deadline= to the "
+                "service call instead"
             )
         if "trace" in params:
             # Cell engines search in cell-local node ids and the
@@ -521,6 +545,7 @@ class ShardedQueryService:
                             self._localize(plan.shard, unit.query),
                             algorithm,
                             params,
+                            deadline=deadline,
                         )
                     )
                     owners.append((position, True))
@@ -530,7 +555,11 @@ class ShardedQueryService:
                         continue
                 wave.append(
                     ShardTask.build(
-                        self._crosscell_handle.key, unit.query, algorithm, params
+                        self._crosscell_handle.key,
+                        unit.query,
+                        algorithm,
+                        params,
+                        deadline=deadline,
                     )
                 )
                 owners.append((position, False))
@@ -574,6 +603,7 @@ class ShardedQueryService:
         queries: Sequence[KORQuery],
         algorithm: str = "bucketbound",
         workers: int | None = None,
+        deadline: Deadline | None = None,
         **params,
     ) -> list[KORResult]:
         """Run a batch and return its results in submission order.
@@ -582,7 +612,11 @@ class ShardedQueryService:
         report) when any slot failed.
         """
         return self.execute(
-            queries, algorithm=algorithm, workers=workers, **params
+            queries,
+            algorithm=algorithm,
+            workers=workers,
+            deadline=deadline,
+            **params,
         ).results()
 
     # ------------------------------------------------------------------
@@ -608,6 +642,13 @@ class ShardedQueryService:
         no feasible candidate the *cross-cell* outcome stands, because
         only the border engine's verdict speaks for the whole graph
         (when only the cell attempt ran, its cell *is* the whole graph).
+
+        **Graceful degradation**: when the cross-cell attempt *errored*
+        (deadline, fault, dead worker) but the cell attempt produced a
+        feasible route, that route is returned flagged
+        ``degraded=True`` — feasible for sure, optimal unproven.  A
+        cross attempt that completed (feasible or not) is authoritative,
+        so its waves never degrade.
         """
         # Attempt seconds are summed: that is the compute the query cost,
         # and on a serial (or saturated) backend also its wall clock.  On
@@ -637,9 +678,14 @@ class ShardedQueryService:
         if best is not None:
             unit.shard, unit.result = best
             unit.error = None
-            self._stats.record_merge(
-                "crosscell" if best[0] == self._crosscell_handle.key else "cell"
-            )
+            cross_died = cross is not None and cross.error is not None
+            if cross_died and best[0] != self._crosscell_handle.key:
+                unit.result = replace(unit.result, degraded=True)
+                self._stats.record_merge("degraded")
+            else:
+                self._stats.record_merge(
+                    "crosscell" if best[0] == self._crosscell_handle.key else "cell"
+                )
             return
 
         # Nothing feasible: the last candidate is always the one whose

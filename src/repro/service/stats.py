@@ -73,6 +73,9 @@ class StatsSnapshot:
     coalesced: int = 0
     #: Requests that gave up waiting (async per-request timeouts).
     timeouts: int = 0
+    #: Requests refused at the front door by admission control (the
+    #: HTTP tier's 503 + Retry-After path); they never reach the engine.
+    shed: int = 0
     #: Deepest submission queue observed (in-flight backend tasks or
     #: pending async requests, whichever the recorder measures).
     queue_depth_peak: int = 0
@@ -139,8 +142,11 @@ class StatsSnapshot:
                 f"{winner}={count}" for winner, count in sorted(self.merge_wins.items())
             )
             line += f"; merge wins: {wins}"
-        if self.coalesced or self.timeouts:
-            line += f"; coalesced {self.coalesced}, timeouts {self.timeouts}"
+        if self.coalesced or self.timeouts or self.shed:
+            line += (
+                f"; coalesced {self.coalesced}, timeouts {self.timeouts}, "
+                f"shed {self.shed}"
+            )
         if self.queue_depth_peak:
             line += f"; peak queue depth {self.queue_depth_peak}"
         if self.pinning:
@@ -181,6 +187,7 @@ class ServiceStats:
         self._merge_wins: dict[str, int] = {}
         self._coalesced = 0
         self._timeouts = 0
+        self._shed = 0
         self._queue_depth_peak = 0
         self._slo_seconds = slo_seconds
         self._slo_violations = 0
@@ -236,7 +243,8 @@ class ServiceStats:
 
     def record_merge(self, winner: str) -> None:
         """Account one scatter-merge outcome (``cell`` / ``crosscell`` /
-        ``infeasible`` / ``error``) on a sharded service."""
+        ``degraded`` / ``infeasible`` / ``error``) on a sharded
+        service."""
         with self._lock:
             self._merge_wins[winner] = self._merge_wins.get(winner, 0) + 1
 
@@ -249,6 +257,11 @@ class ServiceStats:
         """Account one request that stopped waiting for its answer."""
         with self._lock:
             self._timeouts += 1
+
+    def record_shed(self) -> None:
+        """Account one request refused by front-door admission control."""
+        with self._lock:
+            self._shed += 1
 
     def record_queue_depth(self, depth: int) -> None:
         """Track the deepest submission queue seen so far."""
@@ -291,6 +304,7 @@ class ServiceStats:
                 merge_wins=dict(self._merge_wins),
                 coalesced=self._coalesced,
                 timeouts=self._timeouts,
+                shed=self._shed,
                 queue_depth_peak=max(
                     self._queue_depth_peak, queue_depth_peak or 0
                 ),
@@ -311,6 +325,7 @@ class ServiceStats:
             self._merge_wins.clear()
             self._coalesced = 0
             self._timeouts = 0
+            self._shed = 0
             self._queue_depth_peak = 0
             self._slo_violations = 0
             self._endpoints.clear()

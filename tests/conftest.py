@@ -17,6 +17,15 @@ from repro.graph.generators import figure_1_graph
 from repro.service import QueryService
 
 
+def pytest_configure(config) -> None:
+    # pytest-timeout registers this marker when installed (CI); declare
+    # it here too so the chaos/deadline suites stay warning-free in
+    # environments without the plugin (the marker is then a no-op).
+    config.addinivalue_line(
+        "markers", "timeout(seconds): per-test timeout, enforced by pytest-timeout"
+    )
+
+
 @pytest.fixture(scope="session")
 def fig1_graph() -> SpatialKeywordGraph:
     """The paper's Figure-1 example graph."""

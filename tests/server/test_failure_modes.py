@@ -1,0 +1,379 @@
+"""The front door under failure: deadlines, shedding, draining, health.
+
+Drives :class:`~repro.server.app.KORApp` through the in-process ASGI
+client (and :class:`~repro.server.stdlib.StdlibServer` for the drain
+protocol) and pins the failure-containment contract of the HTTP tier:
+
+* a request whose deadline expires answers **504** promptly — whether
+  the deadline came as ``timeout``, ``timeout_ms`` or the
+  ``x-kor-timeout-ms`` header — and the body form wins over the header;
+* requests beyond the pending budget are **shed** with 503 +
+  ``Retry-After`` before any engine work, counted in ``shed``;
+* :meth:`~repro.server.app.KORApp.begin_drain` refuses new work while
+  ``/healthz`` reports ``draining`` and read endpoints stay up;
+* ``/healthz`` reports ``degraded`` while a lane breaker is open.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.server import KORApp, asgi_request, http_request, serve
+from repro.service import AsyncQueryService, QueryService
+
+from tests.service.test_differential import random_instance
+from tests.service.test_frontend import SlowEngine
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def query_payload(query, **extra) -> dict:
+    return {
+        "source": query.source,
+        "target": query.target,
+        "keywords": list(query.keywords),
+        "budget_limit": query.budget_limit,
+        **extra,
+    }
+
+
+def drive(coro_factory, engine, **front_kwargs):
+    """Run *coro_factory(app)* against a fresh app over *engine*."""
+    max_pending = front_kwargs.pop("max_pending", None)
+
+    async def main():
+        front = AsyncQueryService(QueryService(engine, cache_capacity=0), **front_kwargs)
+        app_kwargs = {} if max_pending is None else {"max_pending": max_pending}
+        app = KORApp(front, **app_kwargs)
+        try:
+            return await coro_factory(app)
+        finally:
+            await front.close()
+
+    return asyncio.run(main())
+
+
+async def request_with_headers(app, payload: dict, headers: list) -> "object":
+    """Like ``asgi_request`` but with caller-controlled headers."""
+    import json
+
+    body = json.dumps(payload).encode()
+    scope = {
+        "type": "http",
+        "asgi": {"version": "3.0", "spec_version": "2.3"},
+        "http_version": "1.1",
+        "method": "POST",
+        "scheme": "http",
+        "path": "/query",
+        "raw_path": b"/query",
+        "query_string": b"",
+        "root_path": "",
+        "headers": [(b"content-type", b"application/json")] + headers,
+        "client": ("127.0.0.1", 0),
+        "server": ("inproc", 0),
+    }
+    delivered = False
+
+    async def receive():
+        nonlocal delivered
+        if not delivered:
+            delivered = True
+            return {"type": "http.request", "body": body, "more_body": False}
+        return await asyncio.get_running_loop().create_future()
+
+    messages = []
+
+    async def send(message):
+        messages.append(message)
+
+    await app(scope, receive, send)
+    status = messages[0]["status"]
+    payload_bytes = b"".join(m.get("body", b"") for m in messages[1:])
+    return status, json.loads(payload_bytes or b"null")
+
+
+class TestDeadlines:
+    def test_expired_deadline_answers_504_promptly(self):
+        engine, queries = random_instance(0)
+        slow = SlowEngine(engine, delay_seconds=0.3)
+
+        async def scenario(app):
+            begin = time.monotonic()
+            response = await asgi_request(
+                app, "POST", "/query", query_payload(queries[0], timeout=0.05)
+            )
+            elapsed = time.monotonic() - begin
+            assert response.status == 504
+            assert response.json()["error"]["type"] in (
+                "TimeoutError",
+                "DeadlineExceeded",
+            )
+            # Promptness: well under the engine's 0.3 s stall.
+            assert elapsed < 2.0
+
+        drive(scenario, slow)
+
+    def test_timeout_ms_is_the_same_deadline(self):
+        engine, queries = random_instance(0)
+        slow = SlowEngine(engine, delay_seconds=0.3)
+
+        async def scenario(app):
+            response = await asgi_request(
+                app, "POST", "/query", query_payload(queries[0], timeout_ms=50)
+            )
+            assert response.status == 504
+
+        drive(scenario, slow)
+
+    def test_timeout_and_timeout_ms_together_are_rejected(self):
+        engine, queries = random_instance(0)
+
+        async def scenario(app):
+            response = await asgi_request(
+                app,
+                "POST",
+                "/query",
+                query_payload(queries[0], timeout=1.0, timeout_ms=1000),
+            )
+            assert response.status == 400
+            assert "not both" in response.json()["error"]["message"]
+
+        drive(scenario, engine)
+
+    def test_header_deadline_applies_when_body_has_none(self):
+        engine, queries = random_instance(0)
+        slow = SlowEngine(engine, delay_seconds=0.3)
+
+        async def scenario(app):
+            status, payload = await request_with_headers(
+                app, query_payload(queries[0]), [(b"x-kor-timeout-ms", b"50")]
+            )
+            assert status == 504
+
+        drive(scenario, slow)
+
+    def test_body_timeout_wins_over_the_header(self):
+        engine, queries = random_instance(0)
+        slow = SlowEngine(engine, delay_seconds=0.1)
+
+        async def scenario(app):
+            status, payload = await request_with_headers(
+                app,
+                query_payload(queries[0], timeout=30.0),
+                [(b"x-kor-timeout-ms", b"1")],
+            )
+            assert status == 200  # a winning 1 ms header would be a 504
+
+        drive(scenario, slow)
+
+    def test_malformed_header_is_a_400(self):
+        engine, queries = random_instance(0)
+
+        async def scenario(app):
+            for bad in (b"soon", b"-5", b"0"):
+                status, payload = await request_with_headers(
+                    app, query_payload(queries[0]), [(b"x-kor-timeout-ms", bad)]
+                )
+                assert status == 400
+                assert "x-kor-timeout-ms" in payload["error"]["message"]
+
+        drive(scenario, engine)
+
+    def test_mid_search_expiry_stops_the_engine_with_a_504(self):
+        """The deadline reaches the search loop: an exhaustive search
+        that would run for seconds answers 504 within the deadline plus
+        scheduling slack."""
+        from repro.core.engine import KOREngine
+        from repro.core.query import KORQuery
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_node(keywords=["rare"])
+        for _ in range(6):
+            builder.add_node()
+        for u in range(7):
+            for v in range(7):
+                if u != v:
+                    builder.add_edge(u, v, 1.0, 1.0)
+        engine = KOREngine(builder.build())
+        query = KORQuery(1, 2, ("rare",), 9.0)
+
+        async def scenario(app):
+            begin = time.monotonic()
+            response = await asgi_request(
+                app,
+                "POST",
+                "/query",
+                query_payload(query, timeout_ms=50, algorithm="exhaustive"),
+            )
+            elapsed = time.monotonic() - begin
+            assert response.status == 504
+            assert elapsed < 2.0
+
+        drive(scenario, engine)
+
+    def test_batch_slots_time_out_individually(self):
+        engine, queries = random_instance(0)
+        slow = SlowEngine(engine, delay_seconds=0.3)
+
+        async def scenario(app):
+            response = await asgi_request(
+                app,
+                "POST",
+                "/batch",
+                {
+                    "timeout": 0.05,
+                    "queries": [query_payload(q) for q in queries[:2]],
+                },
+            )
+            assert response.status == 200  # the envelope survives
+            results = response.json()["results"]
+            assert len(results) == 2
+            assert all("error" in item for item in results)
+
+        drive(scenario, slow)
+
+
+class TestShedding:
+    def test_over_budget_requests_are_shed(self):
+        engine, queries = random_instance(1)
+        slow = SlowEngine(engine, delay_seconds=0.2)
+
+        async def scenario(app):
+            first = asyncio.ensure_future(
+                asgi_request(app, "POST", "/query", query_payload(queries[0]))
+            )
+            await asyncio.sleep(0.05)  # let it be admitted
+            assert app.pending == 1
+            second = await asgi_request(
+                app, "POST", "/query", query_payload(queries[1])
+            )
+            assert second.status == 503
+            assert second.headers.get("retry-after") == "1"
+            assert second.json()["error"]["type"] == "Overloaded"
+
+            health = (await asgi_request(app, "GET", "/healthz")).json()
+            assert health["shed"] == 1
+            assert health["max_pending"] == 1
+            assert health["status"] == "ok"  # shedding is not degradation
+
+            assert (await first).status == 200
+            assert app.frontend.snapshot().shed == 1
+
+        drive(scenario, slow, max_pending=1)
+
+    def test_read_endpoints_are_never_shed(self):
+        engine, queries = random_instance(1)
+        slow = SlowEngine(engine, delay_seconds=0.2)
+
+        async def scenario(app):
+            flight = asyncio.ensure_future(
+                asgi_request(app, "POST", "/query", query_payload(queries[0]))
+            )
+            await asyncio.sleep(0.05)
+            assert (await asgi_request(app, "GET", "/healthz")).status == 200
+            assert (await asgi_request(app, "GET", "/stats")).status == 200
+            assert (await flight).status == 200
+
+        drive(scenario, slow, max_pending=1)
+
+    def test_max_pending_must_be_positive(self):
+        engine, _queries = random_instance(1)
+
+        async def scenario(app):
+            pass  # construction is the test
+
+        with pytest.raises(Exception, match="max_pending"):
+            drive(scenario, engine, max_pending=0)
+
+
+class TestDraining:
+    def test_begin_drain_refuses_new_work(self):
+        engine, queries = random_instance(2)
+
+        async def scenario(app):
+            assert not app.draining
+            app.begin_drain()
+            assert app.draining
+            response = await asgi_request(
+                app, "POST", "/query", query_payload(queries[0])
+            )
+            assert response.status == 503
+            assert response.headers.get("retry-after") == "1"
+            assert response.json()["error"]["type"] == "Draining"
+
+            health = (await asgi_request(app, "GET", "/healthz")).json()
+            assert health["status"] == "draining"
+            # Reads stay up for the host doing the draining.
+            assert (await asgi_request(app, "GET", "/stats")).status == 200
+
+        drive(scenario, engine)
+
+    def test_stdlib_server_drains_before_stopping(self):
+        engine, queries = random_instance(2)
+        server = serve(QueryService(engine, cache_capacity=16), drain_seconds=2.0)
+
+        def request(method, path, payload=None):
+            host, port = server.address
+            return asyncio.run(http_request(host, port, method, path, payload))
+
+        try:
+            ok = request("POST", "/query", query_payload(queries[0]))
+            assert ok.status == 200
+            assert server.drain() is True
+            refused = request("POST", "/query", query_payload(queries[1]))
+            assert refused.status == 503
+            health = request("GET", "/healthz")
+            assert health.json()["status"] == "draining"
+        finally:
+            server.close()
+
+
+class _OpenBreakerBackend:
+    """What a process backend with one open lane reports."""
+
+    def breaker_stats(self) -> dict:
+        return {
+            "opened": 1,
+            "closed": 0,
+            "half_open_probes": 0,
+            "short_circuits": 2,
+            "lanes": [
+                {"lane": 0, "state": "open", "failures": 3, "probing": False},
+                {"lane": 1, "state": "closed", "failures": 0, "probing": False},
+            ],
+        }
+
+
+class TestHealthz:
+    def test_reports_degraded_while_a_breaker_is_open(self):
+        engine, _queries = random_instance(3)
+        service = QueryService(engine, cache_capacity=0)
+        service._backend = _OpenBreakerBackend()
+
+        async def main():
+            front = AsyncQueryService(service)
+            try:
+                return await asgi_request(KORApp(front), "GET", "/healthz")
+            finally:
+                await front.close()
+
+        response = asyncio.run(main())
+        payload = response.json()
+        assert payload["status"] == "degraded"
+        assert payload["breakers"]["lanes"][0]["state"] == "open"
+        assert payload["breakers"]["short_circuits"] == 2
+
+    def test_plain_service_is_ok_without_breakers(self):
+        engine, _queries = random_instance(3)
+
+        async def scenario(app):
+            payload = (await asgi_request(app, "GET", "/healthz")).json()
+            assert payload["status"] == "ok"
+            assert "breakers" not in payload
+            assert payload["pending"] == 0
+
+        drive(scenario, engine)

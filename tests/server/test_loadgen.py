@@ -159,6 +159,100 @@ class TestRunLoad:
             asyncio.run(loadgen.run_load(send, [], rate_qps=10.0, duration_seconds=1.0))
 
 
+class TestRetries:
+    """``--retry``: transport failures only, jittered backoff, counted."""
+
+    def drive(self, send, **kwargs):
+        _engine, queries = random_instance(0)
+        kwargs.setdefault("rate_qps", 300.0)
+        kwargs.setdefault("duration_seconds", 0.2)
+        kwargs.setdefault("max_requests", 3)
+        kwargs.setdefault("seed", 0)
+        return asyncio.run(loadgen.run_load(send, queries, **kwargs))
+
+    def test_transport_error_is_retried_then_succeeds(self):
+        engine, queries = random_instance(0)
+        failures = {"left": 2}
+
+        async def drive():
+            front = AsyncQueryService(QueryService(engine, cache_capacity=0))
+            app = KORApp(front)
+
+            async def flaky(payload):
+                if failures["left"]:
+                    failures["left"] -= 1
+                    raise ConnectionResetError("boom")
+                return await asgi_request(app, "POST", "/query", payload)
+
+            try:
+                return await loadgen.run_load(
+                    flaky,
+                    queries,
+                    rate_qps=300.0,
+                    duration_seconds=0.2,
+                    max_requests=1,
+                    retries=3,
+                    seed=0,
+                )
+            finally:
+                await front.close()
+
+        outcome = asyncio.run(drive())
+        # Both failures were absorbed by retries, not counted as errors.
+        assert outcome["retries"] == 2
+        assert outcome["transport_errors"] == 0
+        assert len(outcome["latencies"]) == 1
+
+    def test_exhausted_retries_count_one_transport_error(self):
+        async def broken(payload):
+            raise ConnectionResetError("boom")
+
+        outcome = self.drive(broken, retries=2, max_requests=1)
+        assert outcome["transport_errors"] == 1
+        assert outcome["retries"] == 2
+
+    def test_timeouts_are_never_retried(self):
+        async def stuck(payload):
+            await asyncio.sleep(60.0)
+
+        outcome = self.drive(stuck, retries=5, max_requests=2, request_timeout=0.05)
+        assert outcome["timeout_errors"] == 2
+        assert outcome["retries"] == 0
+
+    def test_http_errors_are_never_retried(self):
+        class Shed:
+            status = 503
+            body = b"{}"
+
+            def json(self):
+                return {}
+
+        async def shedding(payload):
+            return Shed()
+
+        outcome = self.drive(shedding, retries=5, max_requests=2)
+        assert outcome["http_errors"] == 2
+        assert outcome["retries"] == 0
+
+    def test_negative_retries_rejected(self):
+        async def send(payload):  # pragma: no cover - never reached
+            raise AssertionError
+
+        with pytest.raises(ValueError, match="retries"):
+            self.drive(send, retries=-1)
+
+    def test_retries_reported_beside_errors_but_outside_total(self):
+        async def broken(payload):
+            raise ConnectionResetError("boom")
+
+        outcome = self.drive(broken, retries=1, max_requests=2)
+        report = loadgen.build_report(outcome, rate_qps=300.0, slo_seconds=0.1)
+        assert report["errors"]["transport_errors"] == 2
+        assert report["errors"]["retries"] == 2
+        assert report["errors"]["total"] == 2  # retries are not errors
+        assert "| transport retries | 2 |" in loadgen.render_markdown(report)
+
+
 class TestReport:
     def outcome(self):
         return {

@@ -211,8 +211,9 @@ class TestTimeoutAndCancellation:
         assert snapshot.timeouts == 1
         assert len(service.cache) == 0
 
-    def test_timeout_after_dispatch_does_not_poison_cache_or_stats(self):
-        """Acceptance: a late answer still lands correctly for others."""
+    def test_timeout_after_dispatch_stops_the_wave_and_stays_clean(self):
+        """Acceptance: an expired wave stops computing; nothing poisons
+        the cache or stats, and later callers recompute correctly."""
         engine, queries = random_instance(0)
         slow = SlowEngine(engine, delay_seconds=0.15)
         service = QueryService(slow, cache_capacity=256)
@@ -221,18 +222,21 @@ class TestTimeoutAndCancellation:
             async with AsyncQueryService(service) as front:
                 with pytest.raises(asyncio.TimeoutError):
                     await front.submit(queries[0], algorithm="bucketbound", timeout=0.02)
-                # close() drains the wave; the result it computed is in
-                # the sync cache and must be the *correct* one.
+                # close() drains the wave; it inherited the lone
+                # awaiter's deadline and died with DeadlineExceeded, so
+                # nothing about it may have entered the cache.
             return front.snapshot()
 
         snapshot = asyncio.run(drive())
         assert snapshot.timeouts == 1
         assert snapshot.errors == 0
+        assert len(service.cache) == 0
+        assert slow.runs == 1
+        # A later caller recomputes from scratch and gets the right
+        # answer — the abandoned wave left no trace.
         expected = fingerprint(engine.run(queries[0], algorithm="bucketbound"))
         assert fingerprint(service.submit(queries[0], algorithm="bucketbound")) == expected
-        # The post-close probe was a pure cache hit: no second engine run
-        # beyond the wave's own (and none for the timed-out awaiter).
-        assert slow.runs == 1
+        assert slow.runs == 2
 
     def test_one_timeout_among_live_awaiters_does_not_sink_them(self):
         engine, queries = random_instance(0)
