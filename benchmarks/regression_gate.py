@@ -93,6 +93,7 @@ def _collect_qps() -> dict[str, float]:
     from repro.bench.experiments import (
         border_heavy_throughput,
         clear_cell_cache,
+        kernel_throughput,
         service_throughput,
         sharded_throughput,
     )
@@ -129,6 +130,14 @@ def _collect_qps() -> dict[str, float]:
     for position, dataset in enumerate(border.xs):
         for backend in gated_backends:
             metrics[f"border/{dataset}/{backend}_qps"] = border.series[backend][position]
+
+    # Batch-wave kernel dispatch vs per-query tasks, serial + thread only
+    # (same no-process policy as above).  Gating both modes catches a
+    # kernel-path slowdown and a per-query-path slowdown independently.
+    kernel = kernel_throughput(backend_names=gated_backends)
+    for position, backend in enumerate(kernel.xs):
+        metrics[f"kernel/{backend}/per_query_qps"] = kernel.series["Per-query-tasks"][position]
+        metrics[f"kernel/{backend}/wave_qps"] = kernel.series["Batch-wave"][position]
     return metrics
 
 

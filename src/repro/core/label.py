@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterator
 
-__all__ = ["Label", "LabelStore", "label_sort_key"]
+__all__ = ["Label", "LabelStore", "dominates_scores", "label_sort_key"]
 
 #: How a label came to exist; "jump" labels are Optimisation Strategy 1's
 #: shortcut along a sigma path, expanded during route materialisation.
@@ -29,6 +29,21 @@ VIA_EDGE = 1
 VIA_JUMP = 2
 
 _seq_counter = itertools.count()
+
+
+def dominates_scores(
+    dominator_scaled_os: float, dominator_bs: float, scaled_os: float, bs: float
+) -> bool:
+    """Definition 6's score half: both scores no larger (``<=``, not ``<``).
+
+    This is *the* canonical comparator: every scalar domination site calls
+    it, and the vectorized kernels mirror it as
+    ``(sos_arr <= sos) & (bs_arr <= bs)``
+    (:func:`repro.core.kernels.dominates_scores_block`) — two independent
+    non-strict compares, no lexicographic short-circuit, so equal-score /
+    equal-budget labels tie-break identically on both paths.
+    """
+    return dominator_scaled_os <= scaled_os and dominator_bs <= bs
 
 
 class Label:
@@ -64,10 +79,8 @@ class Label:
     # ------------------------------------------------------------------
     def dominates(self, other: "Label") -> bool:
         """Definition 6: superset keywords, both scores no larger."""
-        return (
-            (self.mask & other.mask) == other.mask
-            and self.scaled_os <= other.scaled_os
-            and self.bs <= other.bs
+        return (self.mask & other.mask) == other.mask and dominates_scores(
+            self.scaled_os, self.bs, other.scaled_os, other.bs
         )
 
     def chain_nodes(self) -> list[tuple[int, int]]:
@@ -135,7 +148,7 @@ class LabelStore:
             if (stored_mask & mask) != mask:
                 continue
             for stored in labels:
-                if stored.scaled_os <= candidate.scaled_os and stored.bs <= candidate.bs:
+                if dominates_scores(stored.scaled_os, stored.bs, candidate.scaled_os, candidate.bs):
                     needed -= 1
                     if needed == 0:
                         return True
@@ -163,7 +176,7 @@ class LabelStore:
                 kept = [
                     stored
                     for stored in labels
-                    if not (label.scaled_os <= stored.scaled_os and label.bs <= stored.bs)
+                    if not dominates_scores(label.scaled_os, label.bs, stored.scaled_os, stored.bs)
                 ]
                 if len(kept) != len(labels):
                     for stored in labels:
@@ -215,6 +228,6 @@ class LabelStore:
             for stored in labels:
                 if stored is label:
                     continue
-                if stored.scaled_os <= label.scaled_os and stored.bs <= label.bs:
+                if dominates_scores(stored.scaled_os, stored.bs, label.scaled_os, label.bs):
                     count += 1
         return count

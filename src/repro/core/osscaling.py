@@ -20,6 +20,14 @@ the returned route's objective is within ``1/(1-eps)`` of optimal.
 With ``exact=True`` domination compares true objective scores, which turns
 the search into an exact branch-and-bound (used as the ground-truth
 baseline in :mod:`repro.core.bruteforce`).
+
+The search is implemented as a *stepwise* class so two drivers can share
+it: :func:`os_scaling` runs the classic one-label-at-a-time loop, and the
+batch kernels (:mod:`repro.core.kernels`) advance many searches in
+lockstep, vector-prefiltering each step's pooled edge block before
+handing survivors back to the exact scalar treatment below.  Both drivers
+execute the same prune sequence on the same floats, so their results —
+routes, scores *and* per-label statistics — are identical.
 """
 
 from __future__ import annotations
@@ -39,6 +47,260 @@ from repro.index.inverted import InvertedIndex
 from repro.prep.tables import CostTables
 
 __all__ = ["os_scaling"]
+
+
+class _OSScalingSearch:
+    """One OSScaling run, advanced label by label.
+
+    Drivers call :meth:`pop` for the next label to expand (``None`` once
+    the search is complete — including the trivial early exits, which are
+    resolved during construction) and :meth:`step` (or the finer-grained
+    :meth:`consider` / :meth:`bound_and_treat` / :meth:`jump`) to extend
+    it, then :meth:`result` for the :class:`KORResult`.
+    """
+
+    algorithm_family = "osscaling"
+
+    def __init__(
+        self,
+        graph: SpatialKeywordGraph,
+        tables: CostTables,
+        index: InvertedIndex,
+        query: KORQuery,
+        epsilon: float = 0.5,
+        use_strategy1: bool = True,
+        use_strategy2: bool = True,
+        infrequent_threshold: float = 0.01,
+        exact: bool = False,
+        trace: SearchTrace | None = None,
+        binding: QueryBinding | None = None,
+        deadline: Deadline | None = None,
+        shared=None,
+    ) -> None:
+        self._start = time.perf_counter()
+        self.algorithm = "exact" if exact else "osscaling"
+        self.stats = SearchStats()
+        self.query = query
+        self.trace = trace
+        self.deadline = deadline
+        self.use_strategy1 = use_strategy1
+        self.use_strategy2 = use_strategy2
+
+        scaling = ScalingContext.for_query(graph, query.budget_limit, epsilon, exact=exact)
+        self.ctx = SearchContext(
+            graph,
+            tables,
+            index,
+            query,
+            scaling,
+            infrequent_threshold=infrequent_threshold,
+            binding=binding,
+            shared=shared,
+        )
+        ctx = self.ctx
+        self.delta = query.budget_limit
+        self.full_mask = ctx.binding.full_mask
+
+        self.upper = float("inf")
+        self.incumbent: Label | None = None
+        self._early: KORResult | None = None
+        self._heap: list[tuple[tuple[int, float, float, int], Label]] = []
+        self._store = LabelStore(graph.num_nodes)
+
+        reason = ctx.impossibility_reason()
+        if reason is not None:
+            self._early = self._package(None, failure_reason=reason)
+            return
+
+        source = query.source
+        root = ctx.root_label()
+        if root.mask == self.full_mask and ctx.bs_tau_t_list[source] <= self.delta:
+            # The source (plus the target, via tau's endpoints) already
+            # covers every keyword and the objective-optimal completion
+            # fits the budget: tau_{s,t} is globally objective-optimal, so
+            # it is *the* optimum — no search needed.
+            self._early = self._package(root)
+            return
+
+        heapq.heappush(self._heap, (label_sort_key(root), root))
+        self._store.insert(root)
+        self.stats.labels_enqueued += 1
+
+    # ------------------------------------------------------------------
+    # driver protocol
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`pop` can still yield work."""
+        return self._early is not None or not self._heap
+
+    def pop(self, tick: bool = True) -> Label | None:
+        """Next label to expand (Algorithm 1 lines 5-7), or ``None``.
+
+        Dead labels (evicted by domination) and stale labels (admissible
+        completion no longer under ``U``) are skipped here, with the same
+        deadline-tick cadence as the classic loop.  ``tick=False`` lets a
+        lockstep driver own the deadline checkpointing instead.
+        """
+        if self._early is not None:
+            return None
+        while self._heap:
+            if tick and self.deadline is not None:
+                self.deadline.tick()
+            _key, label = heapq.heappop(self._heap)
+            if not label.alive:
+                continue
+            self.stats.loops += 1
+            if self.trace is not None:
+                self.trace.record(
+                    "dequeue", label.node, label.mask, label.scaled_os, label.os, label.bs
+                )
+            # Line 7: the label cannot contribute once its admissible
+            # completion exceeds the upper bound.
+            if label.os + self.ctx.os_tau_t_list[label.node] > self.upper:
+                continue
+            return label
+        return None
+
+    def step(self, label: Label) -> None:
+        """Full scalar treatment of one dequeued label: edges then jump."""
+        ctx = self.ctx
+        for node, seg_os, seg_bs, seg_sos in ctx.scaled_out(label.node):
+            self.consider(label, node, seg_os, seg_bs, seg_sos, VIA_EDGE)
+        self.jump(label)
+
+    def jump(self, label: Label) -> None:
+        """Optimisation Strategy 1's extra extension for *label*."""
+        if not self.use_strategy1 or label.mask == self.full_mask:
+            return
+        jump = self.ctx.jump_candidate(label)
+        if jump is not None:
+            vj, seg_os, seg_bs = jump
+            self.stats.jump_labels_created += 1
+            self.consider(label, vj, seg_os, seg_bs, self.ctx.scaling.scale(seg_os), VIA_JUMP)
+
+    # ------------------------------------------------------------------
+    # label treatment (Definition 7 + Algorithm 1 line 10 checks)
+    # ------------------------------------------------------------------
+    def consider(
+        self, parent: Label, node: int, seg_os: float, seg_bs: float, seg_sos: float, via: int
+    ) -> None:
+        """Scalar treatment of one candidate extension, all checks inline."""
+        ctx = self.ctx
+        stats = self.stats
+        stats.labels_created += 1
+        new_mask = parent.mask | ctx.binding.node_mask(node)
+        new_os = parent.os + seg_os
+        new_bs = parent.bs + seg_bs
+        new_sos = parent.scaled_os + seg_sos
+        if self.trace is not None:
+            self.trace.record("create", node, new_mask, new_sos, new_os, new_bs)
+
+        if new_bs + ctx.bs_sigma_t_list[node] > self.delta:
+            stats.labels_pruned_budget += 1
+            if self.trace is not None:
+                self.trace.record("prune_budget", node, new_mask, new_sos, new_os, new_bs)
+            return
+        self.bound_and_treat(parent, node, new_mask, new_os, new_bs, new_sos, via)
+
+    def bound_and_treat(
+        self,
+        parent: Label,
+        node: int,
+        new_mask: int,
+        new_os: float,
+        new_bs: float,
+        new_sos: float,
+        via: int,
+    ) -> None:
+        """Treatment from the U-prune onward, against the *live* bound.
+
+        This is the kernel re-entry point: the lockstep driver's vector
+        prefilter disposes of budget-infeasible labels exactly and of
+        labels that cannot beat the block-start bound snapshot (sound —
+        ``U`` only tightens), then routes every survivor through here so
+        the bound is re-checked against the current ``U`` and the rest of
+        the treatment runs scalar, in edge order, exactly as a solo run
+        would.
+        """
+        ctx = self.ctx
+        stats = self.stats
+        if not (new_os + ctx.os_tau_t_list[node] < self.upper):
+            stats.labels_pruned_bound += 1
+            if self.trace is not None:
+                self.trace.record("prune_bound", node, new_mask, new_sos, new_os, new_bs)
+            return
+        if self.use_strategy2 and ctx.strategy2_rejects(node, new_mask, new_os, new_bs, self.upper):
+            stats.labels_pruned_strategy2 += 1
+            if self.trace is not None:
+                self.trace.record("prune_strategy2", node, new_mask, new_sos, new_os, new_bs)
+            return
+
+        label = Label(node, new_mask, new_sos, new_os, new_bs, parent=parent, via=via)
+        if self._store.is_dominated(label):
+            stats.labels_pruned_dominated += 1
+            if self.trace is not None:
+                self.trace.record("prune_dominated", node, new_mask, new_sos, new_os, new_bs)
+            return
+
+        if new_mask == self.full_mask:
+            if new_bs + ctx.bs_tau_t_list[node] <= self.delta:
+                # Feasible completion via tau_{j,t}: update the upper bound
+                # and the incumbent (lines 17-19); the label is consumed —
+                # tau is its best possible completion (Lemma 3), so no
+                # extension of it can improve on the recorded route.
+                self.upper = new_os + ctx.os_tau_t_list[node]
+                self.incumbent = label
+                stats.bound_updates += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        "bound_update", node, new_mask, new_sos, new_os, new_bs, self.upper
+                    )
+                return
+            # Covers everything but tau's budget does not fit: keep
+            # searching from it (line 20).
+        heapq.heappush(self._heap, (label_sort_key(label), label))
+        self._store.insert(label, self._on_evict)
+        stats.labels_enqueued += 1
+        if self.trace is not None:
+            self.trace.record("enqueue", node, new_mask, new_sos, new_os, new_bs)
+
+    def _on_evict(self, _victim: Label) -> None:
+        self.stats.labels_evicted += 1
+
+    # ------------------------------------------------------------------
+    # result
+    # ------------------------------------------------------------------
+    def result(self) -> KORResult:
+        """Package the finished search (callable once drained)."""
+        if self._early is not None:
+            return self._early
+        if self.incumbent is None:
+            return self._package(None, failure_reason="no feasible route exists")
+        return self._package(self.incumbent)
+
+    def _package(self, final: Label | None, failure_reason: str | None = None) -> KORResult:
+        if final is None:
+            self.stats.runtime_seconds = time.perf_counter() - self._start
+            return KORResult(
+                query=self.query,
+                algorithm=self.algorithm,
+                route=None,
+                covers_keywords=False,
+                within_budget=False,
+                stats=self.stats,
+                failure_reason=failure_reason,
+            )
+        route = _finish(self.ctx, final)
+        self.stats.runtime_seconds = time.perf_counter() - self._start
+        return KORResult(
+            query=self.query,
+            algorithm=self.algorithm,
+            route=route,
+            covers_keywords=True,
+            within_budget=route.budget_score <= self.delta + 1e-9,
+            stats=self.stats,
+        )
 
 
 def os_scaling(
@@ -64,171 +326,26 @@ def os_scaling(
     query context (see :class:`repro.core.query.QueryBinding`).
     ``deadline`` arms the per-iteration cancellation checkpoint.
     """
-    start = time.perf_counter()
-    algorithm = "exact" if exact else "osscaling"
-    stats = SearchStats()
-
-    scaling = ScalingContext.for_query(graph, query.budget_limit, epsilon, exact=exact)
-    ctx = SearchContext(
+    search = _OSScalingSearch(
         graph,
         tables,
         index,
         query,
-        scaling,
+        epsilon=epsilon,
+        use_strategy1=use_strategy1,
+        use_strategy2=use_strategy2,
         infrequent_threshold=infrequent_threshold,
+        exact=exact,
+        trace=trace,
         binding=binding,
+        deadline=deadline,
     )
-
-    reason = ctx.impossibility_reason()
-    if reason is not None:
-        stats.runtime_seconds = time.perf_counter() - start
-        return KORResult(
-            query=query,
-            algorithm=algorithm,
-            route=None,
-            covers_keywords=False,
-            within_budget=False,
-            stats=stats,
-            failure_reason=reason,
-        )
-
-    delta = query.budget_limit
-    full_mask = ctx.binding.full_mask
-    source = query.source
-
-    root = ctx.root_label()
-    if root.mask == full_mask and ctx.bs_tau_t_list[source] <= delta:
-        # The source (plus the target, via tau's endpoints) already covers
-        # every keyword and the objective-optimal completion fits the
-        # budget: tau_{s,t} is globally objective-optimal, so it is *the*
-        # optimum — no search needed.
-        route = ctx.materialize(root)
-        stats.runtime_seconds = time.perf_counter() - start
-        return KORResult(
-            query=query,
-            algorithm=algorithm,
-            route=route,
-            covers_keywords=True,
-            within_budget=True,
-            stats=stats,
-        )
-
-    upper = float("inf")
-    incumbent: Label | None = None
-    store = LabelStore(graph.num_nodes)
-    heap: list[tuple[tuple[int, float, float, int], Label]] = []
-    heapq.heappush(heap, (label_sort_key(root), root))
-    store.insert(root)
-    stats.labels_enqueued += 1
-
-    def on_evict(_victim: Label) -> None:
-        stats.labels_evicted += 1
-
-    def consider(parent: Label, node: int, seg_os: float, seg_bs: float, seg_sos: float, via: int) -> None:
-        """Label treatment (Definition 7) plus Algorithm 1 line 10 checks."""
-        nonlocal upper, incumbent
-        stats.labels_created += 1
-        new_mask = parent.mask | ctx.binding.node_mask(node)
-        new_os = parent.os + seg_os
-        new_bs = parent.bs + seg_bs
-        new_sos = parent.scaled_os + seg_sos
-        if trace is not None:
-            trace.record("create", node, new_mask, new_sos, new_os, new_bs)
-
-        if new_bs + ctx.bs_sigma_t_list[node] > delta:
-            stats.labels_pruned_budget += 1
-            if trace is not None:
-                trace.record("prune_budget", node, new_mask, new_sos, new_os, new_bs)
-            return
-        if not (new_os + ctx.os_tau_t_list[node] < upper):
-            stats.labels_pruned_bound += 1
-            if trace is not None:
-                trace.record("prune_bound", node, new_mask, new_sos, new_os, new_bs)
-            return
-        if use_strategy2 and ctx.strategy2_rejects(node, new_mask, new_os, new_bs, upper):
-            stats.labels_pruned_strategy2 += 1
-            if trace is not None:
-                trace.record("prune_strategy2", node, new_mask, new_sos, new_os, new_bs)
-            return
-
-        label = Label(node, new_mask, new_sos, new_os, new_bs, parent=parent, via=via)
-        if store.is_dominated(label):
-            stats.labels_pruned_dominated += 1
-            if trace is not None:
-                trace.record("prune_dominated", node, new_mask, new_sos, new_os, new_bs)
-            return
-
-        if new_mask == full_mask:
-            if new_bs + ctx.bs_tau_t_list[node] <= delta:
-                # Feasible completion via tau_{j,t}: update the upper bound
-                # and the incumbent (lines 17-19); the label is consumed —
-                # tau is its best possible completion (Lemma 3), so no
-                # extension of it can improve on the recorded route.
-                upper = new_os + ctx.os_tau_t_list[node]
-                incumbent = label
-                stats.bound_updates += 1
-                if trace is not None:
-                    trace.record("bound_update", node, new_mask, new_sos, new_os, new_bs, upper)
-                return
-            # Covers everything but tau's budget does not fit: keep
-            # searching from it (line 20).
-            heapq.heappush(heap, (label_sort_key(label), label))
-            store.insert(label, on_evict)
-            stats.labels_enqueued += 1
-            if trace is not None:
-                trace.record("enqueue", node, new_mask, new_sos, new_os, new_bs)
-            return
-
-        heapq.heappush(heap, (label_sort_key(label), label))
-        store.insert(label, on_evict)
-        stats.labels_enqueued += 1
-        if trace is not None:
-            trace.record("enqueue", node, new_mask, new_sos, new_os, new_bs)
-
-    while heap:
-        if deadline is not None:
-            deadline.tick()
-        _key, label = heapq.heappop(heap)
-        if not label.alive:
-            continue
-        stats.loops += 1
-        if trace is not None:
-            trace.record("dequeue", label.node, label.mask, label.scaled_os, label.os, label.bs)
-        # Line 7: the label cannot contribute once its admissible completion
-        # exceeds the upper bound.
-        if label.os + ctx.os_tau_t_list[label.node] > upper:
-            continue
-        for node, seg_os, seg_bs, seg_sos in ctx.scaled_out(label.node):
-            consider(label, node, seg_os, seg_bs, seg_sos, VIA_EDGE)
-        if use_strategy1 and label.mask != full_mask:
-            jump = ctx.jump_candidate(label)
-            if jump is not None:
-                vj, seg_os, seg_bs = jump
-                stats.jump_labels_created += 1
-                consider(label, vj, seg_os, seg_bs, ctx.scaling.scale(seg_os), VIA_JUMP)
-
-    stats.runtime_seconds = time.perf_counter() - start
-    if incumbent is None:
-        return KORResult(
-            query=query,
-            algorithm=algorithm,
-            route=None,
-            covers_keywords=False,
-            within_budget=False,
-            stats=stats,
-            failure_reason="no feasible route exists",
-        )
-
-    route = _finish(ctx, incumbent)
-    stats.runtime_seconds = time.perf_counter() - start
-    return KORResult(
-        query=query,
-        algorithm=algorithm,
-        route=route,
-        covers_keywords=True,
-        within_budget=route.budget_score <= delta + 1e-9,
-        stats=stats,
-    )
+    while True:
+        label = search.pop()
+        if label is None:
+            break
+        search.step(label)
+    return search.result()
 
 
 def _finish(ctx: SearchContext, incumbent: Label) -> Route:

@@ -100,7 +100,9 @@ from repro.service.backends import (
     ShardTask,
     TaskOutcome,
     ThreadBackend,
+    WaveTask,
     backend_from_name,
+    run_wave_on_engine,
 )
 from repro.service.batch import BatchError, BatchItem, BatchReport
 from repro.service.cache import CacheStats, ResultCache, canonical_cache_key
@@ -131,6 +133,8 @@ __all__ = [
     "StatsSnapshot",
     "TaskOutcome",
     "ThreadBackend",
+    "WaveTask",
     "backend_from_name",
     "canonical_cache_key",
+    "run_wave_on_engine",
 ]

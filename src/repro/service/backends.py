@@ -9,6 +9,16 @@ The serving layer describes compute work in one of two currencies:
   this query, with this algorithm and these parameters, against the
   engine registered under this shard key".
 
+A third, coarser currency rides on top: **waves** (:class:`WaveTask`) —
+several same-``(algorithm, params)`` queries shipped as *one*
+submission and executed through one numpy lockstep kernel invocation
+(:func:`repro.core.kernels.run_wave`) on the shard's engine.
+:meth:`ExecutionBackend.submit_wave` resolves to one
+:class:`TaskOutcome` per member; a member's failure stays in its slot,
+and a wave-level failure degrades to the per-query path
+(worker-side in :func:`run_wave_on_engine`, parent-side by the batch
+executor resubmitting members as :class:`ShardTask` work).
+
 Since the async front-end landed, the *primitive* every backend
 implements is **futures-based submission**: :meth:`ExecutionBackend.\
 submit_task` hands one :class:`ShardTask` to the backend and immediately
@@ -86,6 +96,8 @@ from typing import Callable, Mapping, Sequence
 
 from repro.core.deadline import Deadline
 from repro.core.engine import KOREngine
+from repro.core.kernels import KernelContext
+from repro.core.kernels import run_wave as _kernel_run_wave
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
 from repro.exceptions import QueryError
@@ -101,7 +113,9 @@ __all__ = [
     "ShardTask",
     "TaskOutcome",
     "ThreadBackend",
+    "WaveTask",
     "backend_from_name",
+    "run_wave_on_engine",
 ]
 
 #: Fan-out width when the caller does not pick one.
@@ -216,6 +230,57 @@ class ShardTask:
         )
 
 
+@dataclass(frozen=True)
+class WaveTask:
+    """One picklable *wave*: several same-``(algorithm, params)`` queries
+    against one registered shard, executed through a single
+    :func:`repro.core.kernels.run_wave` invocation.
+
+    Waves are the batch executor's fatter task currency: where a
+    :class:`ShardTask` round-trips one query, a wave ships B queries in
+    one submission and lets the kernel advance them in numpy lockstep.
+    Failures stay per member — the wave resolves to one
+    :class:`TaskOutcome` per query, in order.
+    """
+
+    shard: str
+    queries: tuple[KORQuery, ...]
+    algorithm: str
+    params: tuple[tuple[str, object], ...] = ()
+    #: Out-of-band cancellation deadline (see :class:`ShardTask`).
+    deadline: Deadline | None = None
+
+    @classmethod
+    def build(
+        cls,
+        shard: str,
+        queries: Sequence[KORQuery],
+        algorithm: str,
+        params: Mapping[str, object] | None = None,
+        deadline: Deadline | None = None,
+    ) -> "WaveTask":
+        """Normalise a params mapping into task form."""
+        items = tuple(sorted(params.items())) if params else ()
+        return cls(
+            shard=shard,
+            queries=tuple(queries),
+            algorithm=algorithm,
+            params=items,
+            deadline=deadline,
+        )
+
+    def member_task(self, query: KORQuery) -> ShardTask:
+        """The :class:`ShardTask` one member would have been, solo —
+        what fault plans and per-query fallbacks see."""
+        return ShardTask(
+            shard=self.shard,
+            query=query,
+            algorithm=self.algorithm,
+            params=self.params,
+            deadline=self.deadline,
+        )
+
+
 @dataclass
 class TaskOutcome:
     """What one :class:`ShardTask` produced (result or error, never both)."""
@@ -251,6 +316,46 @@ def run_task_on_engine(engine: KOREngine, task: ShardTask) -> TaskOutcome:
         return TaskOutcome(result=result, latency_seconds=time.perf_counter() - begin)
     except Exception as error:  # noqa: BLE001 - reported per task
         return TaskOutcome(error=error, latency_seconds=time.perf_counter() - begin)
+
+
+def run_wave_on_engine(
+    engine: KOREngine, task: WaveTask, kernel_context: KernelContext | None = None
+) -> list[TaskOutcome]:
+    """Execute a wave against a live *engine*, one outcome per member.
+
+    Fault rules fire per member through the kernel's ``on_member`` hook —
+    each member presents to the plan as the :class:`ShardTask` it would
+    have been solo, so shard/query filters written for the per-query path
+    apply unchanged, and an injected error poisons only its own slot.
+
+    A *wave-level* failure (anything :func:`repro.core.kernels.run_wave`
+    itself raises, as opposed to a member's contained error) degrades to
+    the per-query path: every member re-runs through
+    :func:`run_task_on_engine`, so survivors still get answers.
+    """
+    plan = faults._ACTIVE
+    on_member = None
+    if plan is not None:
+
+        def on_member(_index: int, query: KORQuery, _plan=plan) -> None:
+            _plan.on_task(task.member_task(query))
+
+    try:
+        wave = _kernel_run_wave(
+            engine,
+            task.queries,
+            task.algorithm,
+            dict(task.params),
+            deadline=task.deadline,
+            on_member=on_member,
+            kernel_context=kernel_context,
+        )
+    except Exception:  # noqa: BLE001 - wave-level fault, degrade per query
+        return [run_task_on_engine(engine, task.member_task(q)) for q in task.queries]
+    return [
+        TaskOutcome(result=o.result, error=o.error, latency_seconds=o.latency_seconds)
+        for o in wave
+    ]
 
 
 def _completed_future(outcome: TaskOutcome) -> Future:
@@ -310,6 +415,7 @@ _WORKER_STATE: dict = {
     "budget": None,
     "builds": {},  # shard key -> times materialised in this worker
     "evictions": 0,
+    "kernels": {},  # shard key -> KernelContext (wave-shared caches)
 }
 
 
@@ -331,6 +437,7 @@ def _process_worker_init(
     _WORKER_STATE["budget"] = engine_budget
     _WORKER_STATE["builds"] = {}
     _WORKER_STATE["evictions"] = 0
+    _WORKER_STATE["kernels"] = {}
     if fault_rules:
         faults.install(faults.FaultPlan(fault_rules))
     else:
@@ -362,8 +469,28 @@ def _worker_engine(key: str) -> KOREngine:
         while len(engines) > 1 and sum(weights.values()) > budget:
             evicted_key, _evicted = engines.popitem(last=False)
             weights.pop(evicted_key, None)
+            # The kernel context pins the evicted engine's graph and
+            # tables; drop it so the eviction actually frees memory.
+            _WORKER_STATE["kernels"].pop(evicted_key, None)
             _WORKER_STATE["evictions"] += 1
     return engine
+
+
+def _worker_kernel_context(key: str, engine: KOREngine) -> KernelContext:
+    """This worker's wave-shared :class:`KernelContext` for shard *key*.
+
+    One context per resident engine: waves on one worker run
+    sequentially, so the context's caches (target columns, bitmask
+    arrays, adjacency blocks) accumulate across waves without locking.
+    The graph-identity check rebuilds the context if the shard was
+    re-registered with different state under the same key.
+    """
+    contexts: dict = _WORKER_STATE["kernels"]
+    kctx = contexts.get(key)
+    if kctx is None or kctx.graph is not engine.graph:
+        kctx = KernelContext(engine.graph, engine.tables)
+        contexts[key] = kctx
+    return kctx
 
 
 def _portable_error(error: Exception) -> Exception:
@@ -388,6 +515,24 @@ def _process_run_task(task: ShardTask) -> TaskOutcome:
     if outcome.error is not None:
         outcome.error = _portable_error(outcome.error)
     return outcome
+
+
+def _process_run_wave(task: WaveTask) -> list[TaskOutcome]:
+    """Worker-side wave entry point (engine + kernel context by key)."""
+    if task.shard not in _WORKER_STATE["handles"]:
+        error = RemoteTaskError(
+            f"shard {task.shard!r} is not registered in this worker; "
+            f"known shards: {sorted(_WORKER_STATE['handles'])}"
+        )
+        return [TaskOutcome(error=error) for _ in task.queries]
+    engine = _worker_engine(task.shard)
+    outcomes = run_wave_on_engine(
+        engine, task, kernel_context=_worker_kernel_context(task.shard, engine)
+    )
+    for outcome in outcomes:
+        if outcome.error is not None:
+            outcome.error = _portable_error(outcome.error)
+    return outcomes
 
 
 def _worker_introspect(_: int = 0) -> dict:
@@ -436,6 +581,11 @@ class ExecutionBackend(ABC):
         if max_in_flight is not None and max_in_flight < 1:
             raise QueryError(f"max_in_flight must be >= 1 or None, got {max_in_flight}")
         self._handles: dict[str, EngineHandle] = {}
+        # Parent-side wave caches for in-process backends, one per shard.
+        # A KernelContext's caches are insert-only and every value is
+        # fully built before insertion, so concurrent thread-pool waves
+        # at worst recompute a value — they never observe a partial one.
+        self._kernel_contexts: dict[str, KernelContext] = {}
         self._max_in_flight = max_in_flight
         self._admission = (
             threading.Semaphore(max_in_flight) if max_in_flight is not None else None
@@ -452,6 +602,7 @@ class ExecutionBackend(ABC):
         if existing is handle:
             return handle
         self._handles[handle.key] = handle
+        self._kernel_contexts.pop(handle.key, None)
         self._on_register(handle)
         return handle
 
@@ -469,6 +620,7 @@ class ExecutionBackend(ABC):
         outcome they would have had; only *new* submissions see the
         shrunk registry.
         """
+        self._kernel_contexts.pop(key, None)
         if self._handles.pop(key, None) is not None:
             self._on_registry_change()
 
@@ -499,6 +651,23 @@ class ExecutionBackend(ABC):
         except QueryError as error:
             return TaskOutcome(error=error)
         return run_task_on_engine(handle.engine(), task)
+
+    def _wave_context(self, handle: EngineHandle) -> KernelContext:
+        """The shard's parent-side :class:`KernelContext` (built lazily)."""
+        kctx = self._kernel_contexts.get(handle.key)
+        if kctx is None or kctx.graph is not handle.engine().graph:
+            kctx = KernelContext(handle.engine().graph, handle.engine().tables)
+            self._kernel_contexts[handle.key] = kctx
+        return kctx
+
+    def _run_wave_one(self, task: WaveTask) -> list[TaskOutcome]:
+        try:
+            handle = self._handle_for(task)
+        except QueryError as error:
+            return [TaskOutcome(error=error) for _ in task.queries]
+        return run_wave_on_engine(
+            handle.engine(), task, kernel_context=self._wave_context(handle)
+        )
 
     # -- admission -----------------------------------------------------
     @property
@@ -562,6 +731,27 @@ class ExecutionBackend(ABC):
         died beyond repair).  Blocks when ``max_in_flight`` is reached.
         """
         return self._admitted(lambda: self._submit(task))
+
+    def _submit_wave(self, task: WaveTask) -> Future:
+        """Backend-specific wave submission (no admission control).
+
+        The in-process default executes :func:`run_wave_on_engine` on the
+        backend's own closure machinery; :class:`ProcessBackend`
+        overrides this to dispatch the picklable wave through its lanes.
+        """
+        return self._submit_call(self._run_wave_one, task)
+
+    def submit_wave(self, task: WaveTask) -> Future:
+        """Submit one wave, returning a ``Future[list[TaskOutcome]]``.
+
+        One wave occupies one admission slot however many queries it
+        carries — waves are the coarser scheduling unit by design.  The
+        future resolves to one outcome per member in order; it only
+        raises for submission-level faults (cancellation, a worker that
+        died beyond retry), in which case the caller should fall back to
+        per-query :meth:`submit_task` submissions.
+        """
+        return self._admitted(lambda: self._submit_wave(task))
 
     def _submit_call(self, fn: Callable, *args) -> Future:
         """Backend-specific closure submission (in-process backends)."""
@@ -1008,7 +1198,26 @@ class ProcessBackend(ExecutionBackend):
         self._dispatch(task, outer, retried=False)
         return outer
 
-    def _dispatch(self, task: ShardTask, outer: Future, retried: bool) -> None:
+    def _submit_wave(self, task: WaveTask) -> Future:
+        if task.shard not in self._handles:
+            error = QueryError(
+                f"shard {task.shard!r} is not registered with this "
+                f"ProcessBackend; known shards: {sorted(self._handles)}"
+            )
+            future: Future = Future()
+            future.set_result([TaskOutcome(error=error) for _ in task.queries])
+            return future
+        outer: Future = Future()
+        self._dispatch(task, outer, retried=False, entry=_process_run_wave)
+        return outer
+
+    def _dispatch(
+        self,
+        task: ShardTask | WaveTask,
+        outer: Future,
+        retried: bool,
+        entry: Callable = _process_run_task,
+    ) -> None:
         with self._route_lock:
             lane = self._route_locked(task.shard)
             executor = self._lane_executor_locked(lane)
@@ -1022,31 +1231,39 @@ class ProcessBackend(ExecutionBackend):
             # dead-worker retry (and, repeated, the breaker).
             plan.on_dispatch(lane.index, executor, task)
         try:
-            inner = executor.submit(_process_run_task, task)
+            inner = executor.submit(entry, task)
         except (BrokenProcessPool, RuntimeError) as error:
             with self._route_lock:
                 if lane.generation == generation:
                     lane.pending -= 1
             if not retried:
                 self._retire_lane(lane, generation=generation, dead_worker=True)
-                self._dispatch(task, outer, retried=True)
+                self._dispatch(task, outer, retried=True, entry=entry)
                 return
             _try_resolve(outer, None, error)
             return
         inner.add_done_callback(
             lambda f, task=task, lane=lane, generation=generation: self._finish(
-                task, outer, lane, generation, f, retried
+                task, outer, lane, generation, f, retried, entry
             )
         )
 
+    @staticmethod
+    def _cancelled_outcome(task: ShardTask | WaveTask):
+        error = QueryError("task was cancelled in the worker pool")
+        if isinstance(task, WaveTask):
+            return [TaskOutcome(error=error) for _ in task.queries]
+        return TaskOutcome(error=error)
+
     def _finish(
         self,
-        task: ShardTask,
+        task: ShardTask | WaveTask,
         outer: Future,
         lane: _Lane,
         generation: int,
         inner: Future,
         retried: bool,
+        entry: Callable = _process_run_task,
     ) -> None:
         worked = not inner.cancelled() and inner.exception() is None
         with self._route_lock:
@@ -1062,11 +1279,7 @@ class ProcessBackend(ExecutionBackend):
                     lane.probing = False
         if inner.cancelled():
             if not outer.cancel():
-                _try_resolve(
-                    outer,
-                    TaskOutcome(error=QueryError("task was cancelled in the worker pool")),
-                    None,
-                )
+                _try_resolve(outer, self._cancelled_outcome(task), None)
             return
         error = inner.exception()
         if isinstance(error, BrokenProcessPool) and not retried:
@@ -1074,7 +1287,7 @@ class ProcessBackend(ExecutionBackend):
             # (once — sibling victims of the same death find the
             # generation already moved on) and retry transparently.
             self._retire_lane(lane, generation=generation, dead_worker=True)
-            self._dispatch(task, outer, retried=True)
+            self._dispatch(task, outer, retried=True, entry=entry)
             return
         if error is not None:
             _try_resolve(outer, None, error)

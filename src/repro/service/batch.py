@@ -16,7 +16,13 @@
    picklable :class:`~repro.service.backends.ShardTask` work addressed
    at the engine's registered handle (each worker process resolves its
    own binding; candidate sharing is an in-process optimisation only);
-5. results land back in their slots, so the report's order is the
+5. unique computations are grouped into **waves** of up to
+   ``wave_size`` queries (``wave_kernels=True``, the default) — one
+   kernel invocation (:func:`repro.core.kernels.run_wave`) per wave
+   instead of one submission per query — with bit-identical results and
+   per-member failure containment; a wave whose submission breaks
+   outright falls back to per-query tasks;
+6. results land back in their slots, so the report's order is the
    submission order no matter how many workers raced.
 
 A slot whose computation raises is reported through its
@@ -34,6 +40,7 @@ from typing import Hashable, Sequence
 
 from repro.core.deadline import Deadline
 from repro.core.engine import KOREngine
+from repro.core.kernels import KernelContext, run_wave
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
 from repro.exceptions import QueryError
@@ -43,11 +50,18 @@ from repro.service.backends import (
     ExecutionBackend,
     ShardTask,
     ThreadBackend,
+    WaveTask,
 )
 from repro.service.cache import UNCACHEABLE_PARAMS, ResultCache, canonical_cache_key
 from repro.service import faults
 
-__all__ = ["BatchError", "BatchItem", "BatchReport", "execute_batch"]
+__all__ = ["BatchError", "BatchItem", "BatchReport", "DEFAULT_WAVE_SIZE", "execute_batch"]
+
+#: How many unique computations one kernel wave carries.  Bigger waves
+#: amortise numpy dispatch better (more pooled edges per lockstep step)
+#: but serialise more work behind one submission; 32 queries x mean
+#: degree ~3 keeps each step's block in the hundreds of lanes.
+DEFAULT_WAVE_SIZE = 32
 
 
 @dataclass
@@ -190,6 +204,8 @@ def execute_batch(
     backend: ExecutionBackend | None = None,
     handle: EngineHandle | None = None,
     deadline: Deadline | None = None,
+    wave_kernels: bool = True,
+    wave_size: int = DEFAULT_WAVE_SIZE,
 ) -> BatchReport:
     """Run *queries* through *engine* with caching and shared candidates.
 
@@ -202,6 +218,14 @@ def execute_batch(
     cache keys); a slot whose search outlives it fails with
     :class:`~repro.exceptions.DeadlineExceeded` without disturbing its
     neighbours, and nothing about it is cached.
+
+    ``wave_kernels`` (default on) groups the batch's unique computations
+    into waves of up to ``wave_size`` queries, each executed through one
+    :func:`repro.core.kernels.run_wave` invocation — numpy lockstep for
+    the eligible label-correcting algorithms, per-member execution (with
+    shared candidates) otherwise.  Results are bit-identical to the
+    per-query path; a wave whose submission breaks outright is resubmitted
+    member by member, so containment matches the per-query path too.
     """
     params = dict(params or {})
     if "binding" in params or "candidates" in params:
@@ -218,6 +242,8 @@ def execute_batch(
             "'deadline' is not a query parameter; pass deadline= to the "
             "service call instead"
         )
+    if wave_size < 1:
+        raise QueryError(f"wave_size must be >= 1, got {wave_size}")
     begin = time.perf_counter()
     queries = list(queries)
     items = [BatchItem(index=i, query=query) for i, query in enumerate(queries)]
@@ -244,10 +270,20 @@ def execute_batch(
                     workers,
                     deadline,
                     shard=handle.key if handle is not None else "local",
+                    wave_kernels=wave_kernels,
+                    wave_size=wave_size,
                 )
             else:
                 _compute_on_backend(
-                    units, algorithm, params, backend, handle, workers, deadline
+                    units,
+                    algorithm,
+                    params,
+                    backend,
+                    handle,
+                    workers,
+                    deadline,
+                    wave_kernels=wave_kernels,
+                    wave_size=wave_size,
                 )
         finally:
             if owned is not None:
@@ -274,6 +310,16 @@ class _LocalTask:
     query: KORQuery
 
 
+def _chunked(units: list[_Unit], size: int) -> list[list[_Unit]]:
+    return [units[i : i + size] for i in range(0, len(units), size)]
+
+
+def _fill_unit(unit: _Unit, outcome) -> None:
+    unit.result = outcome.result
+    unit.error = outcome.error
+    unit.latency_seconds = outcome.latency_seconds
+
+
 def _compute_in_process(
     engine: KOREngine,
     units: list[_Unit],
@@ -283,12 +329,20 @@ def _compute_in_process(
     workers: int | None,
     deadline: Deadline | None = None,
     shard: str = "local",
+    wave_kernels: bool = True,
+    wave_size: int = DEFAULT_WAVE_SIZE,
 ) -> None:
     """Closure path: shared candidate map, live engine, backend.map."""
     # One index pass for the whole batch: the union of every miss
     # query's keywords, resolved to candidate node sets exactly once.
     words = {word for unit in units for word in unit.query.keywords}
     candidates = engine.candidate_sets(words) if words else {}
+    if wave_kernels and len(units) > 1:
+        _compute_waves_in_process(
+            engine, units, algorithm, params, backend, workers,
+            deadline, shard, candidates, wave_size,
+        )
+        return
     if deadline is not None:
         params = {**params, "deadline": deadline}
 
@@ -311,6 +365,50 @@ def _compute_in_process(
     backend.map(compute, units, workers=workers)
 
 
+def _compute_waves_in_process(
+    engine: KOREngine,
+    units: list[_Unit],
+    algorithm: str,
+    params: dict,
+    backend: ExecutionBackend,
+    workers: int | None,
+    deadline: Deadline | None,
+    shard: str,
+    candidates: dict,
+    wave_size: int,
+) -> None:
+    """Wave path on a live engine: chunk the unique computations into
+    waves and run each through one kernel invocation (waves themselves
+    still fan out over the backend)."""
+    kctx = KernelContext(engine.graph, engine.tables)
+    chunks = _chunked(units, wave_size)
+
+    def compute(chunk: list[_Unit]) -> None:
+        # Same fault hook as the per-unit closure: members present to the
+        # plan as _LocalTask, one global load when no plan is installed.
+        plan = faults._ACTIVE
+        on_member = None
+        if plan is not None:
+
+            def on_member(_index: int, query: KORQuery, _plan=plan) -> None:
+                _plan.on_task(_LocalTask(shard, query))
+
+        outcomes = run_wave(
+            engine,
+            [unit.query for unit in chunk],
+            algorithm,
+            params,
+            candidates=candidates,
+            deadline=deadline,
+            on_member=on_member,
+            kernel_context=kctx,
+        )
+        for unit, outcome in zip(chunk, outcomes):
+            _fill_unit(unit, outcome)
+
+    backend.map(compute, chunks, workers=workers)
+
+
 def _compute_on_backend(
     units: list[_Unit],
     algorithm: str,
@@ -319,6 +417,8 @@ def _compute_on_backend(
     handle: EngineHandle | None,
     workers: int | None,
     deadline: Deadline | None = None,
+    wave_kernels: bool = True,
+    wave_size: int = DEFAULT_WAVE_SIZE,
 ) -> None:
     """Task path: picklable ShardTasks against the engine's handle."""
     if handle is None:
@@ -333,12 +433,56 @@ def _compute_on_backend(
             "'trace' cannot cross the process boundary: run traced queries "
             "on an in-process backend (serial/thread) or engine.run()"
         )
+    if wave_kernels and len(units) > 1:
+        leftovers = _compute_waves_on_backend(
+            units, algorithm, params, backend, handle, deadline, wave_size
+        )
+        if not leftovers:
+            return
+        units = leftovers
     tasks = [
         ShardTask.build(handle.key, unit.query, algorithm, params, deadline=deadline)
         for unit in units
     ]
     outcomes = backend.run_tasks(tasks, workers=workers)
     for unit, outcome in zip(units, outcomes):
-        unit.result = outcome.result
-        unit.error = outcome.error
-        unit.latency_seconds = outcome.latency_seconds
+        _fill_unit(unit, outcome)
+
+
+def _compute_waves_on_backend(
+    units: list[_Unit],
+    algorithm: str,
+    params: dict,
+    backend: ExecutionBackend,
+    handle: EngineHandle,
+    deadline: Deadline | None,
+    wave_size: int,
+) -> list[_Unit]:
+    """Submit the units as :class:`WaveTask` work; return the units of
+    any wave whose *submission* broke (worker dead beyond retry,
+    cancellation) so the caller re-runs them as per-query tasks.
+
+    Member-level failures are not leftovers — they arrive inside the
+    wave's outcome list and land in their units like any task error.
+    """
+    chunks = _chunked(units, wave_size)
+    waves = [
+        WaveTask.build(
+            handle.key, [u.query for u in chunk], algorithm, params, deadline=deadline
+        )
+        for chunk in chunks
+    ]
+    futures = [backend.submit_wave(wave) for wave in waves]
+    leftovers: list[_Unit] = []
+    for chunk, future in zip(chunks, futures):
+        try:
+            outcomes = future.result()
+        except Exception:  # noqa: BLE001 - broken wave, degrade per query
+            leftovers.extend(chunk)
+            continue
+        if not isinstance(outcomes, list) or len(outcomes) != len(chunk):
+            leftovers.extend(chunk)
+            continue
+        for unit, outcome in zip(chunk, outcomes):
+            _fill_unit(unit, outcome)
+    return leftovers

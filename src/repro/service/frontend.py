@@ -21,8 +21,12 @@ submit → coalesce → micro-batch → scatter
    ``service.execute(...)`` call on a worker thread, which reuses
    everything the sync tier already has: result cache, in-batch dedup,
    shared candidate sets, and backend fan-out (thread pool, or
-   warm-pinned process lanes).  The wave's report is scattered back to
-   each flight's awaiters.
+   warm-pinned process lanes).  Because flights are grouped by
+   ``(algorithm, params)``, a micro-batch is exactly the shape the sync
+   tier's numpy kernel waves want (:mod:`repro.core.kernels`): the
+   flat ``QueryService`` executes the whole wave through one lockstep
+   kernel invocation by default.  The wave's report is scattered back
+   to each flight's awaiters.
 
 Per-request **timeouts and cancellation** detach the awaiter
 immediately; when the *last* awaiter of a flight detaches before its

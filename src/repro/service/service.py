@@ -63,6 +63,11 @@ class QueryService:
     max_cached_route_nodes:
         Optional total-route-size budget for the cache (results store
         full routes); see :class:`~repro.service.cache.ResultCache`.
+    wave_kernels:
+        Whether batches group their unique computations into numpy
+        kernel waves (default True; see :mod:`repro.core.kernels`).
+        Results are identical either way — turn off to force the
+        one-submission-per-query path (e.g. when profiling it).
     """
 
     def __init__(
@@ -72,6 +77,7 @@ class QueryService:
         default_workers: int = DEFAULT_WORKERS,
         backend: ExecutionBackend | None = None,
         max_cached_route_nodes: int | None = None,
+        wave_kernels: bool = True,
     ) -> None:
         if default_workers < 1:
             raise QueryError(f"default_workers must be >= 1, got {default_workers}")
@@ -79,6 +85,7 @@ class QueryService:
         self._cache = ResultCache(cache_capacity, max_route_nodes=max_cached_route_nodes)
         self._stats = ServiceStats()
         self._default_workers = default_workers
+        self._wave_kernels = wave_kernels
         self._backend = backend
         self._handle = EngineHandle(engine)
         if backend is not None:
@@ -264,6 +271,7 @@ class QueryService:
             backend=self._backend,
             handle=self._handle,
             deadline=deadline,
+            wave_kernels=self._wave_kernels,
         )
         for item in report.items:
             if item.ok:

@@ -1,0 +1,308 @@
+"""Differential sweep for the numpy batch kernels.
+
+The contract of :mod:`repro.core.kernels` is *fingerprint identity*: a
+wave run through the lockstep kernel must produce the same routes,
+scores, failure reasons **and per-label statistics** as N independent
+scalar runs — for every algorithm, on randomized instances.  These
+tests pin that, plus the two scalar/vector unification fixes that ride
+along: the canonical domination comparator (equal-score ties must
+resolve identically on both paths) and BucketBound's deterministic
+bucket-edge indexing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bucketbound import BucketQueue
+from repro.core.engine import ALGORITHMS
+from repro.core.kernels import (
+    KERNEL_WAVE_ALGORITHMS,
+    KernelContext,
+    dominates_scores_block,
+    run_wave,
+)
+from repro.core.label import dominates_scores
+from repro.exceptions import QueryError
+
+from tests.service.test_differential import fingerprint, random_instance
+
+#: Stats fields the kernel must reproduce exactly (runtime excluded:
+#: wall time legitimately differs between the two paths).
+STAT_FIELDS = (
+    "labels_created",
+    "labels_enqueued",
+    "labels_pruned_budget",
+    "labels_pruned_bound",
+    "labels_pruned_dominated",
+    "labels_pruned_strategy2",
+    "labels_evicted",
+    "jump_labels_created",
+    "loops",
+    "bound_updates",
+    "buckets_opened",
+)
+
+ALGO_PARAMS = {
+    "osscaling": {},
+    "bucketbound": {},
+    "greedy": {},
+    "greedy2": {},
+    "exact": {},
+    "exhaustive": {},
+}
+
+
+def scalar_outcomes(engine, queries, algorithm, params):
+    outcomes = []
+    for query in queries:
+        try:
+            result = engine.run(query, algorithm=algorithm, **params)
+        except Exception as error:  # noqa: BLE001 - mirrored per slot
+            outcomes.append(("error", type(error).__name__))
+        else:
+            outcomes.append(
+                ("ok", fingerprint(result), tuple(getattr(result.stats, f) for f in STAT_FIELDS))
+            )
+    return outcomes
+
+
+def wave_outcomes(engine, queries, algorithm, params, **kwargs):
+    outcomes = []
+    for member in run_wave(engine, queries, algorithm, params, **kwargs):
+        if member.error is not None:
+            outcomes.append(("error", type(member.error).__name__))
+        else:
+            result = member.result
+            outcomes.append(
+                ("ok", fingerprint(result), tuple(getattr(result.stats, f) for f in STAT_FIELDS))
+            )
+    return outcomes
+
+
+class TestWaveDifferential:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_wave_matches_scalar(self, algorithm):
+        """Fingerprints and all per-label counters, 8 seeded instances."""
+        params = ALGO_PARAMS[algorithm]
+        for seed in range(8):
+            engine, queries = random_instance(seed)
+            expected = scalar_outcomes(engine, queries, algorithm, params)
+            got = wave_outcomes(engine, queries, algorithm, params)
+            assert got == expected, f"seed={seed} algorithm={algorithm}"
+
+    @pytest.mark.parametrize("algorithm", sorted(KERNEL_WAVE_ALGORITHMS))
+    def test_wave_matches_scalar_with_strategies_off(self, algorithm):
+        params = {"use_strategy1": False, "use_strategy2": False}
+        for seed in range(4):
+            engine, queries = random_instance(seed)
+            expected = scalar_outcomes(engine, queries, algorithm, params)
+            got = wave_outcomes(engine, queries, algorithm, params)
+            assert got == expected, f"seed={seed} algorithm={algorithm}"
+
+    def test_warm_kernel_context_stays_identical(self):
+        """A reused KernelContext (warm caches) must change nothing."""
+        engine, queries = random_instance(2)
+        kctx = KernelContext(engine.graph, engine.tables)
+        first = wave_outcomes(engine, queries, "osscaling", {}, kernel_context=kctx)
+        second = wave_outcomes(engine, queries, "osscaling", {}, kernel_context=kctx)
+        assert first == second == scalar_outcomes(engine, queries, "osscaling", {})
+
+    def test_single_member_wave_matches_scalar(self):
+        """One-query waves take the per-member path; still identical."""
+        engine, queries = random_instance(3)
+        for query in queries[:3]:
+            assert wave_outcomes(engine, [query], "bucketbound", {}) == scalar_outcomes(
+                engine, [query], "bucketbound", {}
+            )
+
+    def test_unknown_parameter_fails_like_solo_runs(self):
+        """Parameter-surface parity: a bogus kwarg errors each member
+        with the same exception type N solo runs would raise."""
+        engine, queries = random_instance(1)
+        expected = scalar_outcomes(engine, queries, "osscaling", {"bogus": 1})
+        got = wave_outcomes(engine, queries, "osscaling", {"bogus": 1})
+        assert got == expected
+        assert all(kind == "error" for kind, *_ in got)
+
+    def test_proxy_engine_runs_per_member(self):
+        """An engine whose ``run`` is overridden (test doubles, delay
+        wrappers) must have it *called*: the lockstep driver bypasses
+        ``run``, so such engines fall back to the per-member loop."""
+        engine, queries = random_instance(5)
+
+        class CountingEngine:
+            def __init__(self, inner):
+                self._inner = inner
+                self.runs = 0
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def run(self, *args, **kwargs):
+                self.runs += 1
+                return self._inner.run(*args, **kwargs)
+
+        proxy = CountingEngine(engine)
+        got = wave_outcomes(proxy, queries, "osscaling", {})
+        assert proxy.runs == len(queries)
+        assert got == scalar_outcomes(engine, queries, "osscaling", {})
+
+    def test_poisoned_member_is_contained(self):
+        """One unbindable query errors its slot; survivors are exact."""
+        from repro.core.query import KORQuery
+
+        engine, queries = random_instance(4)
+        bad = KORQuery(9_999, queries[0].target, queries[0].keywords, 5.0)
+        wave = list(queries[:3]) + [bad] + list(queries[3:6])
+        outcomes = run_wave(engine, wave, "bucketbound", {})
+        assert isinstance(outcomes[3].error, QueryError)
+        expected = scalar_outcomes(engine, queries[:3] + queries[3:6], "bucketbound", {})
+        survivors = [o for i, o in enumerate(outcomes) if i != 3]
+        got = [
+            ("ok", fingerprint(o.result), tuple(getattr(o.result.stats, f) for f in STAT_FIELDS))
+            for o in survivors
+        ]
+        assert got == expected
+
+
+class _CountdownDeadline:
+    """Deadline stub expiring on its Nth check — deterministic mid-wave
+    expiry, independent of wall clock."""
+
+    def __init__(self, checks: int) -> None:
+        self.checks = checks
+
+    def check(self) -> None:
+        from repro.exceptions import DeadlineExceeded
+
+        self.checks -= 1
+        if self.checks < 0:
+            raise DeadlineExceeded("countdown expired")
+
+    def remaining(self) -> float:
+        return float("inf") if self.checks >= 0 else 0.0
+
+
+class TestWaveDeadline:
+    def test_mid_wave_expiry_errors_unfinished_members_only(self):
+        """The lockstep driver checks the deadline once per step: expiry
+        mid-wave must error every *unfinished* member promptly while
+        members that already finished keep their results."""
+        from repro.exceptions import DeadlineExceeded
+
+        engine, queries = random_instance(0)
+        # Generous budget first: count how many checks a full wave needs.
+        probe = _CountdownDeadline(10_000)
+        clean = run_wave(engine, queries, "osscaling", {}, deadline=probe)
+        assert all(o.error is None or not isinstance(o.error, DeadlineExceeded) for o in clean)
+        used = 10_000 - probe.checks
+        assert used > len(queries), "wave must check the deadline per lockstep step"
+
+        # Now expire partway through the lockstep loop.
+        mid = _CountdownDeadline(len(queries) + (used - len(queries)) // 2)
+        outcomes = run_wave(engine, queries, "osscaling", {}, deadline=mid)
+        expired = [o for o in outcomes if isinstance(o.error, DeadlineExceeded)]
+        finished = [o for o in outcomes if o.error is None]
+        assert expired, "some member must have been cut off mid-wave"
+        assert len(expired) + len(finished) == len(outcomes)
+        # Finished members are still exact.
+        scalar = scalar_outcomes(engine, queries, "osscaling", {})
+        for i, o in enumerate(outcomes):
+            if o.error is None:
+                assert ("ok", fingerprint(o.result)) == scalar[i][:2]
+
+    def test_pre_expired_deadline_errors_every_member(self):
+        from repro.exceptions import DeadlineExceeded
+
+        engine, queries = random_instance(1)
+        outcomes = run_wave(engine, queries, "bucketbound", {}, deadline=_CountdownDeadline(0))
+        assert all(isinstance(o.error, DeadlineExceeded) for o in outcomes)
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: one canonical domination comparator, scalar == vector
+# ----------------------------------------------------------------------
+
+# A tiny float pool forces equal-score/equal-budget collisions — the
+# tie-breaking cases where a drifted comparator pair would diverge.
+TIE_FLOATS = st.sampled_from([0.0, 1.0, 1.5, 2.0, 2.0 + 1e-9, 3.0, float("inf")])
+
+
+class TestDominationComparator:
+    @given(
+        pairs=st.lists(st.tuples(TIE_FLOATS, TIE_FLOATS), min_size=1, max_size=16),
+        sos=TIE_FLOATS,
+        bs=TIE_FLOATS,
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_scalar_and_vector_agree(self, pairs, sos, bs):
+        sos_arr = np.array([p[0] for p in pairs], dtype=np.float64)
+        bs_arr = np.array([p[1] for p in pairs], dtype=np.float64)
+        vector = dominates_scores_block(sos_arr, bs_arr, sos, bs)
+        scalar = [dominates_scores(p[0], p[1], sos, bs) for p in pairs]
+        assert vector.tolist() == scalar
+
+    @given(sos=TIE_FLOATS, bs=TIE_FLOATS)
+    @settings(max_examples=50, deadline=None)
+    def test_equal_scores_dominate_both_ways(self, sos, bs):
+        """Non-strict comparator: exact ties dominate symmetrically, so
+        neither path can keep a duplicate the other would drop."""
+        assert dominates_scores(sos, bs, sos, bs)
+        assert dominates_scores_block(
+            np.array([sos]), np.array([bs]), sos, bs
+        ).tolist() == [True]
+
+    def test_label_dominates_uses_the_canonical_comparator(self):
+        from repro.core.label import Label, VIA_ROOT
+
+        a = Label(node=0, mask=0b11, scaled_os=1.0, os=1.0, bs=2.0, parent=None, via=VIA_ROOT)
+        b = Label(node=0, mask=0b01, scaled_os=1.0, os=1.0, bs=2.0, parent=None, via=VIA_ROOT)
+        assert a.dominates(b)  # superset mask, tied scores
+        assert not b.dominates(a)  # subset mask never dominates
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: BucketQueue edge-value determinism, scalar == vector
+# ----------------------------------------------------------------------
+
+
+class TestBucketIndexDeterminism:
+    def test_exact_edge_values_open_their_own_bucket(self):
+        """``low == base * beta^k`` (computed exactly as the queue grows
+        its edge list) must land in bucket k — the boundary used to
+        depend on ``log`` rounding and could go either way."""
+        queue = BucketQueue(base=0.5, beta=1.2)
+        edge = 0.5
+        for k in range(40):
+            assert queue.bucket_index(edge) == k, f"edge {k}"
+            edge *= 1.2
+
+    def test_scalar_and_vector_indexing_agree(self):
+        queue = BucketQueue(base=0.25, beta=1.3)
+        rng = np.random.default_rng(7)
+        lows = np.concatenate(
+            [
+                rng.uniform(0.0, 50.0, size=200),
+                0.25 * 1.3 ** np.arange(20),  # the exact edges again
+            ]
+        )
+        vector = queue.bucket_indices(lows)
+        scalar = [queue.bucket_index(float(low)) for low in lows]
+        assert vector.tolist() == scalar
+
+    def test_below_base_clamps_to_zero(self):
+        queue = BucketQueue(base=1.0, beta=2.0)
+        assert queue.bucket_index(0.0) == 0
+        assert queue.bucket_index(-5.0) == 0
+        assert queue.bucket_indices(np.array([0.0, -5.0, 1.0])).tolist() == [0, 0, 0]
+
+    def test_non_finite_lows_are_rejected(self):
+        queue = BucketQueue(base=1.0, beta=2.0)
+        with pytest.raises(ValueError):
+            queue.bucket_index(float("inf"))
+        with pytest.raises(ValueError):
+            queue.bucket_indices(np.array([1.0, float("nan")]))

@@ -290,6 +290,76 @@ class TestChaosDifferential:
             backend.close()
 
 
+class TestChaosMidWave:
+    """Fault plans against the kernel-wave dispatch path.
+
+    Batches ship as :class:`~repro.service.backends.WaveTask` kernel
+    waves by default, so these plans hit the wave machinery head-on:
+    parent-side kills land while a whole wave is in flight on one lane
+    (the dead-worker retry must replay the *wave*), and task-side rules
+    fire per member through the wave's ``on_member`` hook mid-batch.
+    The oracle is unchanged: degraded-or-identical, never silently
+    wrong.
+    """
+
+    def test_kill_worker_mid_wave_is_survived(self):
+        """SIGKILL under an in-flight kernel wave: the lane rebuild
+        replays the whole wave and every slot still answers exactly."""
+        engine, queries = random_instance(7)
+        baseline = [fingerprint(engine.run(q)) for q in queries]
+        plan = install(FaultPlan([FaultRule(kind="kill_worker", times=1)]))
+        backend = ProcessBackend(workers=2)
+        try:
+            service = QueryService(engine, cache_capacity=0, backend=backend)
+            report = service.execute(queries)  # wave kernels on by default
+            assert report.ok
+            assert [fingerprint(item.result) for item in report.items] == baseline
+            assert plan.fired() == {0: 1}
+            assert backend.pin_stats()["dead_worker_fallbacks"] >= 1
+        finally:
+            from repro.service import faults
+
+            faults.clear()
+            backend.close()
+
+    @pytest.mark.parametrize("algorithm", ("osscaling", "bucketbound"))
+    def test_error_fault_fires_per_wave_member(self, algorithm):
+        """Task-side error rules hit individual wave members: exactly
+        ``times`` units fail, survivors of the same wave stay exact."""
+        engine, queries = random_instance(8)
+        baseline = [fingerprint(engine.run(q, algorithm=algorithm)) for q in queries]
+        for backend in (SerialBackend(), ThreadBackend(workers=3)):
+            plan = FaultPlan([FaultRule(kind="error_task", after=2, times=2)])
+            service = QueryService(engine, cache_capacity=0, backend=backend)
+            try:
+                with injected(plan):
+                    report = service.execute(queries, algorithm=algorithm)
+            finally:
+                backend.close()
+            failed = _assert_survivors_match(report, baseline)
+            assert failed == len(report.errors) >= 2
+            assert all(
+                isinstance(error, FaultInjected) for error in report.errors.values()
+            )
+            assert sum(plan.fired().values()) == 2
+
+    def test_delay_fault_mid_wave_trips_the_wave_deadline(self):
+        """A delayed member admission burns the wave's deadline: slots
+        fail loudly with DeadlineExceeded (or the injected fault), none
+        answer wrong, and the expired wave caches nothing."""
+        engine, queries = random_instance(9)
+        baseline = [fingerprint(engine.run(q)) for q in queries]
+        plan = FaultPlan([FaultRule(kind="delay_task", seconds=0.1, times=1)])
+        service = QueryService(engine, cache_capacity=64)
+        with injected(plan):
+            report = service.execute(queries, deadline=Deadline.after(0.02))
+        _assert_survivors_match(report, baseline)
+        assert not report.ok
+        for error in report.errors.values():
+            assert isinstance(error, (DeadlineExceeded, FaultInjected))
+        assert len(service.cache) == sum(1 for item in report.items if item.ok)
+
+
 class TestCacheFault:
     def test_corrupt_then_invalidate_is_unobservable(self):
         engine, queries = random_instance(6)

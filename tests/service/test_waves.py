@@ -1,0 +1,233 @@
+"""Wave dispatch through the serving stack: containment and fallbacks.
+
+The batch executor ships unique computations as :class:`WaveTask` work
+by default.  These tests pin the three containment tiers the wave path
+adds on top of the kernel's own per-member isolation:
+
+1. a poisoned member (unbindable query, injected fault) errors only its
+   slot, on every backend;
+2. a *wave-level* failure inside the worker degrades to the per-query
+   path (:func:`run_wave_on_engine`'s fallback), so survivors still
+   answer;
+3. a wave whose *submission* breaks (future raises) is resubmitted by
+   the batch executor member by member as plain shard tasks.
+
+Plus the bit-identity guarantee: ``wave_kernels=True`` vs ``False``
+must be observationally indistinguishable in the report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ALGORITHMS
+from repro.core.query import KORQuery
+from repro.exceptions import QueryError
+from repro.service import (
+    ProcessBackend,
+    QueryService,
+    SerialBackend,
+    WaveTask,
+    run_wave_on_engine,
+)
+from repro.service.backends import TaskOutcome
+from repro.service.batch import execute_batch
+from repro.service.cache import ResultCache
+
+from tests.service.test_differential import fingerprint, random_instance
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def _report_view(report):
+    return [
+        (item.index, fingerprint(item.result))
+        if item.error is None
+        else (item.index, "error", type(item.error).__name__)
+        for item in report.items
+    ]
+
+
+class TestWaveBatchDifferential:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_wave_and_per_query_batches_are_identical(self, algorithm, service_backend):
+        engine, queries = random_instance(0)
+        service_backend.register_engine(engine, key="wave-diff")
+        handle = service_backend._handles["wave-diff"]
+        reports = []
+        for wave_kernels in (True, False):
+            report = execute_batch(
+                engine,
+                ResultCache(0),
+                queries,
+                algorithm=algorithm,
+                backend=service_backend,
+                handle=handle,
+                wave_kernels=wave_kernels,
+            )
+            reports.append(_report_view(report))
+        assert reports[0] == reports[1]
+
+    def test_small_wave_size_chunks_correctly(self, service_backend):
+        """wave_size=2 forces several waves per batch; slots stay exact."""
+        engine, queries = random_instance(1)
+        service_backend.register_engine(engine, key="chunks")
+        handle = service_backend._handles["chunks"]
+        baseline = [fingerprint(engine.run(q)) for q in queries]
+        report = execute_batch(
+            engine,
+            ResultCache(0),
+            queries,
+            backend=service_backend,
+            handle=handle,
+            wave_size=2,
+        )
+        assert report.ok
+        assert [fingerprint(item.result) for item in report.items] == baseline
+
+    def test_service_toggle_disables_waves(self):
+        """wave_kernels=False on the service still answers identically."""
+        engine, queries = random_instance(2)
+        on = QueryService(engine, cache_capacity=0, wave_kernels=True)
+        off = QueryService(engine, cache_capacity=0, wave_kernels=False)
+        assert _report_view(on.execute(queries)) == _report_view(off.execute(queries))
+
+
+class TestPoisonedMember:
+    def test_unbindable_member_poisons_only_its_slot(self, service_backend):
+        """Tier 1: a query that cannot bind errors its own slot; every
+        other slot matches the flat engine (kernel survivors included)."""
+        engine, queries = random_instance(3)
+        bad = KORQuery(9_999, queries[0].target, queries[0].keywords, 5.0)
+        batch = list(queries[:4]) + [bad] + list(queries[4:])
+        service_backend.register_engine(engine, key="poison")
+        handle = service_backend._handles["poison"]
+        report = execute_batch(
+            engine, ResultCache(0), batch, backend=service_backend, handle=handle
+        )
+        assert set(report.errors) == {4}
+        assert isinstance(report.errors[4], QueryError)
+        for item in report.items:
+            if item.index != 4:
+                assert fingerprint(item.result) == fingerprint(engine.run(item.query))
+
+    def test_poisoned_member_error_crosses_the_process_boundary(self):
+        engine, queries = random_instance(4)
+        bad = KORQuery(9_999, queries[0].target, queries[0].keywords, 5.0)
+        backend = ProcessBackend(workers=2)
+        try:
+            handle = backend.register_engine(engine, key="remote-poison")
+            task = WaveTask.build("remote-poison", [queries[0], bad, queries[1]], "bucketbound")
+            outcomes = backend.submit_wave(task).result()
+            assert outcomes[0].ok and outcomes[2].ok
+            assert isinstance(outcomes[1].error, QueryError)
+            assert fingerprint(outcomes[0].result) == fingerprint(engine.run(queries[0]))
+        finally:
+            backend.close()
+
+
+class TestWaveLevelFallback:
+    def test_broken_kernel_degrades_to_per_query(self, monkeypatch):
+        """Tier 2: if run_wave itself explodes, run_wave_on_engine
+        re-runs every member through the scalar task path."""
+        import repro.service.backends as backends_mod
+
+        engine, queries = random_instance(5)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(backends_mod, "_kernel_run_wave", boom)
+        task = WaveTask.build("s", queries, "osscaling")
+        outcomes = run_wave_on_engine(engine, task)
+        assert len(outcomes) == len(queries)
+        assert all(o.ok for o in outcomes)
+        assert [fingerprint(o.result) for o in outcomes] == [
+            fingerprint(engine.run(q, algorithm="osscaling")) for q in queries
+        ]
+
+    def test_broken_wave_submission_resubmits_members(self):
+        """Tier 3: a backend whose wave futures fail outright still
+        serves the batch — the executor falls back to shard tasks."""
+
+        class BrokenWaveBackend(SerialBackend):
+            def __init__(self):
+                super().__init__()
+                self.wave_submissions = 0
+
+            def _submit_wave(self, task):
+                self.wave_submissions += 1
+                from concurrent.futures import Future
+
+                future: Future = Future()
+                future.set_exception(RuntimeError("lane sank mid-wave"))
+                return future
+
+        # SerialBackend is in_process; flip the flag so the executor
+        # takes the task path, where wave *submissions* can break.
+        engine, queries = random_instance(6)
+        backend = BrokenWaveBackend()
+        backend.in_process = False
+        handle = backend.register_engine(engine, key="broken")
+        report = execute_batch(
+            engine, ResultCache(0), queries, backend=backend, handle=handle
+        )
+        assert backend.wave_submissions >= 1
+        assert report.ok
+        assert [fingerprint(item.result) for item in report.items] == [
+            fingerprint(engine.run(q)) for q in queries
+        ]
+
+
+class TestWaveTaskShape:
+    def test_build_normalises_params(self):
+        q = KORQuery(0, 1, ("a",), 5.0)
+        task = WaveTask.build("s", [q], "osscaling", {"epsilon": 0.5, "use_strategy1": True})
+        assert task.params == (("epsilon", 0.5), ("use_strategy1", True))
+        assert task.queries == (q,)
+        member = task.member_task(q)
+        assert (member.shard, member.query, member.algorithm, member.params) == (
+            "s",
+            q,
+            "osscaling",
+            task.params,
+        )
+
+    def test_unregistered_shard_fails_every_slot(self, service_backend):
+        engine, queries = random_instance(0)
+        task = WaveTask.build("nowhere", queries[:3], "bucketbound")
+        outcomes = service_backend.submit_wave(task).result()
+        assert len(outcomes) == 3
+        assert all(isinstance(o.error, QueryError) for o in outcomes)
+
+    def test_wave_occupies_one_admission_slot(self):
+        engine, queries = random_instance(1)
+        backend = SerialBackend(max_in_flight=1)
+        try:
+            backend.register_engine(engine, key="adm")
+            task = WaveTask.build("adm", queries, "greedy")
+            outcomes = backend.submit_wave(task).result()
+            assert len(outcomes) == len(queries)
+            assert backend.peak_in_flight == 1
+        finally:
+            backend.close()
+
+
+class TestWorkerKernelCaches:
+    def test_repeat_waves_reuse_worker_state(self):
+        """Two waves on one process backend: the second reuses the
+        worker's engine and kernel context, answers stay identical."""
+        engine, queries = random_instance(7)
+        backend = ProcessBackend(workers=1)
+        try:
+            backend.register_engine(engine, key="warm")
+            expected = [fingerprint(engine.run(q, algorithm="osscaling")) for q in queries]
+            for _ in range(2):
+                task = WaveTask.build("warm", queries, "osscaling")
+                outcomes = backend.submit_wave(task).result()
+                assert [fingerprint(o.result) for o in outcomes] == expected
+            stats = backend.worker_stats()
+            builds = next(iter(stats.values()))["builds"]
+            assert builds.get("warm") == 1  # engine built once, not per wave
+        finally:
+            backend.close()
