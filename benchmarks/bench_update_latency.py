@@ -1,0 +1,26 @@
+"""Dynamic world — incremental repair latency vs full rebuild.
+
+Expected shape: a single-cell edge re-cost repairs one cell's all-pairs
+tables plus the shared border tier, so its latency must drop as cells
+are added while ``world.rebuilt()`` stays flat.  The acceptance bar from
+the dynamic-world issue is committed here: at 8 cells the p50 repair
+must be **strictly faster** than a from-scratch rebuild.  The emitted
+figure feeds the README's repair-cost table.
+"""
+
+from _helpers import emit_figure
+from repro.bench.experiments import update_latency
+
+
+def test_emit_figure(benchmark):
+    """Assemble and save the figure; enforce the repair-beats-rebuild bar."""
+    result = emit_figure(benchmark, update_latency)
+    speedup = result.meta["speedup_p50"]
+    # The issue's acceptance criterion: single-cell edge-update repair is
+    # strictly faster than a full rebuild at 8 cells.
+    assert speedup["8"] > 1.0, speedup
+    # And the trend must be monotone enough to be meaningful: finer
+    # partitions repair faster than the single-cell degenerate case.
+    assert speedup["8"] > speedup["1"], speedup
+    p50 = dict(zip(result.xs, result.series["Repair-p50"]))
+    assert p50[8] < p50[1], p50

@@ -96,6 +96,7 @@ def _collect_qps() -> dict[str, float]:
         kernel_throughput,
         service_throughput,
         sharded_throughput,
+        update_latency,
     )
 
     clear_cell_cache()
@@ -138,6 +139,18 @@ def _collect_qps() -> dict[str, float]:
     for position, backend in enumerate(kernel.xs):
         metrics[f"kernel/{backend}/per_query_qps"] = kernel.series["Per-query-tasks"][position]
         metrics[f"kernel/{backend}/wave_qps"] = kernel.series["Batch-wave"][position]
+
+    # Dynamic-world repair: updates/second at each cell granularity, plus
+    # the full-rebuild rate it must beat.  Gating both sides catches a
+    # repair-path slowdown and a rebuild-path slowdown independently.
+    update = update_latency()
+    for position, cells in enumerate(update.xs):
+        p50 = update.series["Repair-p50"][position]
+        rebuild = update.series["Full-rebuild"][position]
+        if p50 > 0:
+            metrics[f"update/cells{cells}/repair_ups"] = 1000.0 / p50
+        if rebuild > 0:
+            metrics[f"update/cells{cells}/rebuild_ups"] = 1000.0 / rebuild
     return metrics
 
 

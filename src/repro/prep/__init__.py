@@ -2,6 +2,7 @@
 
 from repro.prep.dijkstra import (
     all_pairs_two_criteria,
+    multi_source_two_criteria,
     reconstruct_path,
     single_source_two_criteria,
 )
@@ -13,6 +14,7 @@ __all__ = [
     "NO_PREDECESSOR",
     "all_pairs_two_criteria",
     "floyd_warshall_two_criteria",
+    "multi_source_two_criteria",
     "reconstruct_path",
     "single_source_two_criteria",
 ]

@@ -25,7 +25,11 @@ from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 from repro.graph.digraph import SpatialKeywordGraph
 from repro.prep.floyd_warshall import NO_PREDECESSOR
 
-__all__ = ["all_pairs_two_criteria", "single_source_two_criteria"]
+__all__ = [
+    "all_pairs_two_criteria",
+    "multi_source_two_criteria",
+    "single_source_two_criteria",
+]
 
 
 def _csr_weight_matrix(graph: SpatialKeywordGraph, which: str) -> csr_matrix:
@@ -121,18 +125,42 @@ def all_pairs_two_criteria(
     return prim_out, sec_out, pred_out
 
 
+def multi_source_two_criteria(
+    graph: SpatialKeywordGraph,
+    sources: np.ndarray,
+    primary: str = "objective",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-per-source variant: ``(primary_cost, secondary_cost, predecessors)``.
+
+    Equivalent to stacking :func:`single_source_two_criteria` over
+    *sources*, but the CSR weight matrix and the dense secondary lookup
+    are built once and every source shares a single compiled Dijkstra
+    sweep — the setup cost is what dominates repeated one-source calls.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.size == 0:
+        n = graph.num_nodes
+        return (
+            np.empty((0, n), dtype=np.float64),
+            np.empty((0, n), dtype=np.float64),
+            np.empty((0, n), dtype=np.int32),
+        )
+    weights = _csr_weight_matrix(graph, primary)
+    sec_lookup = _dense_secondary_lookup(graph, primary)
+    dist, pred = _csgraph_dijkstra(weights, indices=sources, return_predecessors=True)
+    secondary = _secondary_by_pointer_doubling(pred, sources, sec_lookup)
+    secondary[~np.isfinite(dist)] = np.inf
+    return dist, secondary, pred.astype(np.int32)
+
+
 def single_source_two_criteria(
     graph: SpatialKeywordGraph, source: int, primary: str = "objective"
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One-source variant: ``(primary_cost, secondary_cost, predecessors)`` rows."""
-    weights = _csr_weight_matrix(graph, primary)
-    sec_lookup = _dense_secondary_lookup(graph, primary)
-    dist, pred = _csgraph_dijkstra(
-        weights, indices=np.asarray([source]), return_predecessors=True
+    dist, secondary, pred = multi_source_two_criteria(
+        graph, np.asarray([source]), primary
     )
-    secondary = _secondary_by_pointer_doubling(pred, np.asarray([source]), sec_lookup)
-    secondary[~np.isfinite(dist)] = np.inf
-    return dist[0], secondary[0], pred[0].astype(np.int32)
+    return dist[0], secondary[0], pred[0]
 
 
 def reconstruct_path(pred_row: np.ndarray, source: int, target: int) -> list[int]:

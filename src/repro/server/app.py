@@ -24,6 +24,9 @@ Endpoints (all JSON, schema-stamped per :mod:`repro.server.schema`):
                               ranked route per line (chunked transfer)
 ``POST /tune``        200     feed an observed arrival rate into adaptive
                               micro-batching; echoes the window now in force
+``POST /admin/update``  200   one ``kor.graph_update.v1`` mutation batch in,
+                              a ``kor.graph_update_ack.v1`` ack out carrying
+                              the graph epoch now in force
 ====================  ======  =================================================
 
 Error mapping: malformed payloads and bad parameters (``WireError`` /
@@ -67,6 +70,7 @@ from dataclasses import asdict
 from typing import Awaitable, Callable
 
 from repro.exceptions import DeadlineExceeded, QueryError, ServiceClosed
+from repro.graph.mutation import MutationError
 from repro.server.schema import (
     ROUTE_TOPK_SCHEMA,
     SERVICE_STATS_SCHEMA,
@@ -74,6 +78,8 @@ from repro.server.schema import (
     encode_batch,
     encode_error,
     encode_route_result,
+    encode_update_ack,
+    parse_graph_update,
     parse_route_query,
     validate_route_result,
 )
@@ -140,6 +146,10 @@ class KORApp:
             "/query": ("POST", self._query),
             "/batch": ("POST", self._batch),
             "/tune": ("POST", self._tune),
+            # Deliberately NOT a work endpoint: operators must be able
+            # to push graph updates while the app sheds or drains query
+            # traffic, and updates never count against the pending budget.
+            "/admin/update": ("POST", self._admin_update),
         }
 
     @property
@@ -227,7 +237,7 @@ class KORApp:
                 status, payload = 504, encode_error(error)
             except ServiceClosed as error:
                 status, payload = 503, encode_error(error)
-            except (WireError, QueryError) as error:
+            except (WireError, QueryError, MutationError) as error:
                 status, payload = 400, encode_error(error)
             except asyncio.TimeoutError as error:
                 status, payload = 504, encode_error(error)
@@ -291,6 +301,9 @@ class KORApp:
             "max_pending": self._max_pending,
             "shed": self._front.snapshot().shed,
         }
+        epoch = self._front.epoch
+        if epoch is not None:
+            payload["epoch"] = int(epoch)
         if breakers is not None:
             payload["breakers"] = breakers
         return 200, payload
@@ -307,6 +320,9 @@ class KORApp:
             "frontend": asdict(self._front.snapshot()),
             "scheduling": self._front.scheduling_stats(),
         }
+        epoch = self._front.epoch
+        if epoch is not None:
+            payload["epoch"] = int(epoch)
         wrapped = getattr(self._front.service, "snapshot", None)
         if callable(wrapped):
             payload["service"] = asdict(wrapped())
@@ -324,7 +340,9 @@ class KORApp:
             **spec["params"],
         )
         return 200, validate_route_result(
-            encode_route_result(result, explain=spec["explain"])
+            encode_route_result(
+                result, explain=spec["explain"], epoch=self._front.epoch
+            )
         )
 
     async def _batch(self, scope, body: bytes) -> tuple[int, dict]:
@@ -358,13 +376,16 @@ class KORApp:
             return_exceptions=True,
         )
         items = []
+        epoch = self._front.epoch
         for spec, outcome in zip(specs, outcomes):
             if isinstance(outcome, BaseException):
                 items.append(encode_error(outcome))
             else:
                 items.append(
                     validate_route_result(
-                        encode_route_result(outcome, explain=spec["explain"])
+                        encode_route_result(
+                            outcome, explain=spec["explain"], epoch=epoch
+                        )
                     )
                 )
         return 200, encode_batch(items)
@@ -382,6 +403,19 @@ class KORApp:
             "arrival_qps": self._front.arrival_qps,
             "adaptive": self._front.scheduling_stats()["adaptive"],
         }
+
+    async def _admin_update(self, scope, body: bytes) -> tuple[int, dict]:
+        """Apply a ``kor.graph_update.v1`` mutation batch to the world.
+
+        The ack carries the graph epoch now in force, so an operator
+        can correlate subsequent ``kor.route_result.v1`` documents
+        (which are stamped with the epoch they were served under) with
+        the update that produced that state.  Admission control does not
+        apply: updates must land even while the app sheds or drains.
+        """
+        ops = parse_graph_update(_loads(body))
+        epoch = await self._front.apply_update(ops)
+        return 200, encode_update_ack(epoch, applied=len(ops))
 
     async def _topk_stream(self, scope, receive, send) -> None:
         """KkR top-k as chunked NDJSON (header line, then ranked routes).

@@ -30,6 +30,16 @@ Schemas defined here:
 ``kor.route_topk.v1``
     The streaming top-k header line; each following NDJSON line is one
     ranked route.
+``kor.graph_update.v1`` / ``kor.graph_update_ack.v1``
+    A ``/admin/update`` request — an ordered list of graph mutation
+    operations (edge re-costs, node closures/re-opens, keyword
+    replacements) applied atomically as **one** epoch bump — and its
+    acknowledgement carrying the resulting graph epoch.
+
+Route results additionally carry an optional ``epoch`` field (the graph
+epoch the answer was computed against) so clients can detect reads that
+raced a live update; it is additive, so pre-epoch clients keep
+validating.
 
 Encoding never emits ``NaN``/``Infinity`` (scores of route-less results
 are ``null``), so payloads stay valid strict JSON.
@@ -45,6 +55,7 @@ from repro.core.query import KORQuery
 from repro.core.results import KORResult, SearchStats
 from repro.core.route import Route
 from repro.exceptions import QueryError
+from repro.graph.mutation import OP_NAMES
 
 __all__ = [
     "ROUTE_QUERY_SCHEMA",
@@ -52,11 +63,15 @@ __all__ = [
     "ROUTE_BATCH_SCHEMA",
     "SERVICE_STATS_SCHEMA",
     "ROUTE_TOPK_SCHEMA",
+    "GRAPH_UPDATE_SCHEMA",
+    "GRAPH_UPDATE_ACK_SCHEMA",
     "WireError",
     "encode_route_result",
     "validate_route_result",
     "decode_route_result",
     "parse_route_query",
+    "parse_graph_update",
+    "encode_update_ack",
     "encode_batch",
     "encode_error",
 ]
@@ -66,6 +81,8 @@ ROUTE_RESULT_SCHEMA = "kor.route_result.v1"
 ROUTE_BATCH_SCHEMA = "kor.route_batch.v1"
 SERVICE_STATS_SCHEMA = "kor.service_stats.v1"
 ROUTE_TOPK_SCHEMA = "kor.route_topk.v1"
+GRAPH_UPDATE_SCHEMA = "kor.graph_update.v1"
+GRAPH_UPDATE_ACK_SCHEMA = "kor.graph_update_ack.v1"
 
 #: Required top-level fields of a ``kor.route_result.v1`` document and
 #: the python types each must carry.  ``route`` and ``failure_reason``
@@ -187,16 +204,113 @@ def parse_route_query(payload: object) -> dict:
     }
 
 
+def _node_id(op: Mapping, field: str, where: str) -> int:
+    value = op.get(field)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise WireError(f"{where}: {field!r} must be a non-negative integer node id")
+    return value
+
+
+def _positive_weight(op: Mapping, field: str, where: str) -> float | None:
+    value = op.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        raise WireError(f"{where}: {field!r} must be a positive number")
+    return float(value)
+
+
+def parse_graph_update(payload: object) -> list[dict]:
+    """Validate one ``kor.graph_update.v1`` body into mutation ops.
+
+    Returns the ordered op list in exactly the wire shape
+    :meth:`repro.graph.mutation.GraphMutator.apply_op` consumes —
+    shape-validated here (types, op names, required fields) so a
+    malformed body maps to a 400; *semantic* validation (does the edge
+    exist, is the node already closed) stays with the mutator, whose
+    :class:`~repro.graph.mutation.MutationError` the server also maps
+    to a 400.
+    """
+    if not isinstance(payload, Mapping):
+        raise WireError(
+            f"graph_update: expected a JSON object, got {type(payload).__name__}"
+        )
+    schema = payload.get("schema", GRAPH_UPDATE_SCHEMA)
+    if schema != GRAPH_UPDATE_SCHEMA:
+        raise WireError(
+            f"graph_update: unsupported schema {schema!r}; "
+            f"expected {GRAPH_UPDATE_SCHEMA!r}"
+        )
+    ops = payload.get("ops")
+    if not isinstance(ops, list) or not ops:
+        raise WireError("graph_update: 'ops' must be a non-empty list")
+    parsed: list[dict] = []
+    for position, op in enumerate(ops):
+        where = f"graph_update.ops[{position}]"
+        if not isinstance(op, Mapping):
+            raise WireError(f"{where}: expected a JSON object")
+        kind = op.get("op")
+        if kind not in OP_NAMES:
+            raise WireError(
+                f"{where}: unknown op {kind!r}; expected one of {', '.join(OP_NAMES)}"
+            )
+        if kind == "update_edge_cost":
+            entry = {
+                "op": kind,
+                "u": _node_id(op, "u", where),
+                "v": _node_id(op, "v", where),
+            }
+            objective = _positive_weight(op, "objective", where)
+            budget = _positive_weight(op, "budget", where)
+            if objective is None and budget is None:
+                raise WireError(f"{where}: needs 'objective', 'budget', or both")
+            if objective is not None:
+                entry["objective"] = objective
+            if budget is not None:
+                entry["budget"] = budget
+        elif kind == "update_keywords":
+            keywords = op.get("keywords")
+            if not isinstance(keywords, list) or not all(
+                isinstance(word, str) and word for word in keywords
+            ):
+                raise WireError(
+                    f"{where}: 'keywords' must be a list of non-empty strings"
+                )
+            entry = {
+                "op": kind,
+                "node": _node_id(op, "node", where),
+                "keywords": list(keywords),
+            }
+        else:  # close_node / open_node
+            entry = {"op": kind, "node": _node_id(op, "node", where)}
+        parsed.append(entry)
+    return parsed
+
+
+def encode_update_ack(epoch: int, applied: int) -> dict:
+    """A ``kor.graph_update_ack.v1`` document for an applied update."""
+    return {
+        "schema": GRAPH_UPDATE_ACK_SCHEMA,
+        "epoch": int(epoch),
+        "applied": int(applied),
+    }
+
+
 # ----------------------------------------------------------------------
 # results
 # ----------------------------------------------------------------------
 
 
-def encode_route_result(result: KORResult, explain: bool = False) -> dict:
+def encode_route_result(
+    result: KORResult, explain: bool = False, epoch: int | None = None
+) -> dict:
     """One :class:`KORResult` as a ``kor.route_result.v1`` document.
 
     ``explain=True`` attaches the search counters (labels created /
     pruned, loops, runtime) — the per-query cost story, for tuning.
+    ``epoch`` (when the serving tier tracks one) stamps the graph epoch
+    the answer was computed against — additive, so documents from
+    pre-epoch servers stay valid.
     """
     route = result.route
     payload = {
@@ -223,6 +337,9 @@ def encode_route_result(result: KORResult, explain: bool = False) -> dict:
         # v1-compatible extension: the key appears only on degraded
         # answers, so normal responses stay byte-identical to before.
         payload["degraded"] = True
+    if epoch is not None:
+        # Same additive pattern: only epoch-tracking servers emit it.
+        payload["epoch"] = int(epoch)
     if explain:
         payload["explain"] = {"search": asdict(result.stats)}
     return payload
@@ -280,6 +397,14 @@ def validate_route_result(payload: object) -> dict:
         )
     if "degraded" in payload and not isinstance(payload["degraded"], bool):
         raise WireError("route_result: 'degraded' must be a boolean when present")
+    if "epoch" in payload and (
+        isinstance(payload["epoch"], bool)
+        or not isinstance(payload["epoch"], int)
+        or payload["epoch"] < 0
+    ):
+        raise WireError(
+            "route_result: 'epoch' must be a non-negative integer when present"
+        )
     if "explain" in payload and not isinstance(payload["explain"], Mapping):
         raise WireError("route_result: 'explain' must be a JSON object when present")
     return dict(payload)

@@ -94,6 +94,7 @@ Guarantees (backed by ``tests/service/``):
 from repro.service.backends import (
     EngineHandle,
     ExecutionBackend,
+    PartPatch,
     ProcessBackend,
     RemoteTaskError,
     SerialBackend,
@@ -106,6 +107,7 @@ from repro.service.backends import (
 )
 from repro.service.batch import BatchError, BatchItem, BatchReport
 from repro.service.cache import CacheStats, ResultCache, canonical_cache_key
+from repro.service.config import ServiceConfig, build_service
 from repro.service.crosscell import BorderEngine
 from repro.service.frontend import AsyncQueryService
 from repro.service.service import QueryService
@@ -121,11 +123,13 @@ __all__ = [
     "CacheStats",
     "EngineHandle",
     "ExecutionBackend",
+    "PartPatch",
     "ProcessBackend",
     "QueryService",
     "RemoteTaskError",
     "ResultCache",
     "SerialBackend",
+    "ServiceConfig",
     "ServiceStats",
     "Shard",
     "ShardTask",
@@ -135,6 +139,7 @@ __all__ = [
     "ThreadBackend",
     "WaveTask",
     "backend_from_name",
+    "build_service",
     "canonical_cache_key",
     "run_wave_on_engine",
 ]

@@ -92,6 +92,7 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from dataclasses import replace as _dataclass_replace
 from typing import Callable, Mapping, Sequence
 
 from repro.core.deadline import Deadline
@@ -101,12 +102,14 @@ from repro.core.kernels import run_wave as _kernel_run_wave
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
 from repro.exceptions import QueryError
+from repro.graph.mutation import GraphDelta, apply_graph_delta
 from repro.service import faults
 
 __all__ = [
     "DEFAULT_WORKERS",
     "EngineHandle",
     "ExecutionBackend",
+    "PartPatch",
     "ProcessBackend",
     "RemoteTaskError",
     "SerialBackend",
@@ -170,6 +173,22 @@ class EngineHandle:
         """
         return self._engine_cls(self._graph, tables=self._tables, index=self._index)
 
+    def reset(self, engine: KOREngine) -> None:
+        """Swap this handle's state for *engine*'s, keeping the key.
+
+        This is how a live update lands without re-registration: every
+        registry (backend handle map, shard records, pool-worker handle
+        copies) keeps pointing at the same key while the parts underneath
+        change.  Worker-side copies are *not* updated by this call —
+        ship them a :class:`PartPatch` (see
+        :meth:`ExecutionBackend.apply_patches`).
+        """
+        self._engine = engine
+        self._engine_cls = type(engine)
+        self._graph = engine.graph
+        self._tables = engine.tables
+        self._index = engine.index
+
     def engine(self) -> KOREngine:
         """The live engine (materialised from parts after unpickling)."""
         if self._engine is None:
@@ -195,6 +214,68 @@ class EngineHandle:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EngineHandle({self.key!r}, {self._graph.num_nodes} nodes)"
+
+
+@dataclass(frozen=True, eq=False)
+class PartPatch:
+    """A picklable *partial* update to one registered shard's state.
+
+    This is the live-update currency: instead of unregistering a shard
+    and shipping a whole rebuilt engine to every pool worker, the
+    serving layer broadcasts the pieces that actually changed.  Every
+    field is absolute (new state, not diffs-of-diffs), so re-applying a
+    patch is a no-op — which is what makes the broadcast safe against a
+    lane being (re)initialised from the already-updated parent handles
+    concurrently.
+
+    ``graph`` replaces the graph outright; ``graph_delta`` instead
+    replays a :class:`~repro.graph.mutation.GraphDelta` against the
+    recipient's current graph (cheaper on the wire; identical result on
+    every replica because delta application is deterministic, including
+    keyword-id interning order).  ``tables`` replaces the table object
+    wholesale, while ``cell_tables`` + ``border`` substitute individual
+    cells and border matrices into an existing
+    :class:`~repro.prep.partition.PartitionedCostTables` — the
+    incremental-repair fast path, shipping one repaired cell instead of
+    every cell.  ``index`` replaces the inverted index.
+    """
+
+    key: str
+    graph: object | None = None
+    graph_delta: GraphDelta | None = None
+    tables: object | None = None
+    cell_tables: tuple[tuple[int, object], ...] = ()
+    border: tuple[tuple[str, object], ...] = ()
+    index: object | None = None
+
+    def apply_to(self, handle: EngineHandle) -> None:
+        """Fold this patch into *handle* (idempotent)."""
+        graph = handle._graph
+        if self.graph is not None:
+            graph = self.graph
+        elif self.graph_delta is not None:
+            graph = apply_graph_delta(graph, self.graph_delta)
+        tables = handle._tables
+        if self.tables is not None:
+            tables = self.tables
+        elif self.cell_tables or self.border:
+            cells = list(tables.cell_tables)
+            for cell, cell_table in self.cell_tables:
+                cells[cell] = cell_table
+            # Passing the caches as None makes __post_init__ rebuild
+            # them empty — the old caches memoise the old tables.
+            tables = _dataclass_replace(
+                tables,
+                cell_tables=tuple(cells),
+                **dict(self.border),
+                _column_cache=None,
+                _row_cache=None,
+            )
+        handle._graph = graph
+        handle._tables = tables
+        if self.index is not None:
+            handle._index = self.index
+        handle._engine = None
 
 
 @dataclass(frozen=True)
@@ -535,6 +616,25 @@ def _process_run_wave(task: WaveTask) -> list[TaskOutcome]:
     return outcomes
 
 
+def _process_apply_patches(patches: tuple) -> bool:
+    """Worker-side live update: patch handles, drop derived state.
+
+    Runs through the lane's ordinary FIFO queue, which is the epoch
+    fence: tasks submitted before the patch see the old engines, tasks
+    submitted after see the new ones, and nothing in between.
+    """
+    for patch in patches:
+        handle = _WORKER_STATE["handles"].get(patch.key)
+        if handle is not None:
+            patch.apply_to(handle)
+        # Materialised engines, weight estimates and kernel contexts all
+        # memoise the pre-patch parts; next use rebuilds from the handle.
+        _WORKER_STATE["engines"].pop(patch.key, None)
+        _WORKER_STATE["weights"].pop(patch.key, None)
+        _WORKER_STATE["kernels"].pop(patch.key, None)
+    return True
+
+
 def _worker_introspect(_: int = 0) -> dict:
     """Worker-side counters for :meth:`ProcessBackend.worker_stats`."""
     return {
@@ -630,6 +730,27 @@ class ExecutionBackend(ABC):
 
     def _on_registry_change(self) -> None:
         """Hook for backends that must propagate any registry change."""
+
+    def apply_patches(self, patches: Sequence[PartPatch]) -> None:
+        """Propagate live updates for already-reset parent handles.
+
+        The caller is expected to have folded the new state into the
+        registered handles first (:meth:`EngineHandle.reset` or
+        :meth:`PartPatch.apply_to`) — in-process backends read engines
+        straight off those handles, so this method only drops the
+        parent-side derived state (kernel contexts) and lets
+        out-of-process backends forward the patches to their workers via
+        :meth:`_on_patch`.  Unknown keys are ignored: patching a shard
+        that was unregistered mid-flight must not fail the update.
+        """
+        live = tuple(patch for patch in patches if patch.key in self._handles)
+        for patch in live:
+            self._kernel_contexts.pop(patch.key, None)
+        if live:
+            self._on_patch(live)
+
+    def _on_patch(self, patches: tuple[PartPatch, ...]) -> None:
+        """Hook for backends that must forward patches to workers."""
 
     @property
     def shard_keys(self) -> tuple[str, ...]:
@@ -1168,6 +1289,37 @@ class ProcessBackend(ExecutionBackend):
         # current one.
         for lane in self._lanes:
             self._retire_lane(lane)
+
+    def _on_patch(self, patches: tuple[PartPatch, ...]) -> None:
+        """Broadcast a live update to every started lane, in-band.
+
+        Unlike a registry change this does *not* retire lanes: the patch
+        travels the same single-worker FIFO queue as ordinary tasks, so
+        each worker applies it after everything submitted before the
+        update and before everything submitted after — a per-lane epoch
+        fence that keeps warm engines warm for every unpatched shard.
+        Lanes not yet started need nothing: their initializer will ship
+        the already-patched parent handles.  A lane whose broadcast
+        fails is retired (its next submission rebuilds it with current
+        state), so a crashed worker cannot keep serving pre-update data.
+        """
+        with self._route_lock:
+            live = [
+                (lane, lane.executor, lane.generation)
+                for lane in self._lanes
+                if lane.executor is not None
+            ]
+        pending = []
+        for lane, executor, generation in live:
+            try:
+                pending.append((lane, generation, executor.submit(_process_apply_patches, patches)))
+            except (BrokenProcessPool, RuntimeError):
+                self._retire_lane(lane, generation=generation, dead_worker=True)
+        for lane, generation, future in pending:
+            try:
+                future.result()
+            except (BrokenProcessPool, CancelledError, RuntimeError):
+                self._retire_lane(lane, generation=generation, dead_worker=True)
 
     def close(self) -> None:
         for lane in self._lanes:

@@ -321,7 +321,12 @@ class ResultCache:
         else:
             flight.result = result
             if store:
-                self.put(key, result, epoch=epoch)
+                # Write back under the flight's epoch, never a bare None:
+                # an ``epoch=None`` put bypasses the epoch guard, so a
+                # leader resolving after a mid-flight invalidate would
+                # seed the *new* epoch's cache with a result computed
+                # against the retired engine.
+                self.put(key, result, epoch=flight_key[1])
             return result, "computed"
         finally:
             with self._lock:

@@ -213,6 +213,32 @@ class AsyncQueryService:
         timeouts, queue depth).  The wrapped service keeps its own."""
         return self._stats
 
+    @property
+    def epoch(self) -> int | None:
+        """The wrapped service's graph epoch (None when it has none)."""
+        return getattr(self._service, "epoch", None)
+
+    async def apply_update(self, ops: Sequence) -> int:
+        """Apply graph mutations through the wrapped sync service.
+
+        Runs the blocking repair on the executor the waves use, so the
+        event loop keeps serving while tables recompute.  In-flight
+        waves finish on the old epoch (the sync service's epoch fence);
+        waves dispatched after this returns see the new state.  Returns
+        the new epoch.
+        """
+        if self._closed:
+            raise ServiceClosed("AsyncQueryService is closed")
+        apply_ops = getattr(self._service, "apply_ops", None)
+        if not callable(apply_ops):
+            raise QueryError(
+                f"{type(self._service).__name__} does not support live updates"
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, partial(apply_ops, list(ops))
+        )
+
     def snapshot(self) -> StatsSnapshot:
         """Frozen front-end metrics (see :attr:`stats`)."""
         return self._stats.snapshot()

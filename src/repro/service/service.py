@@ -20,18 +20,21 @@ the old graph must not survive the swap.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.deadline import Deadline
 from repro.core.engine import ALGORITHMS, KOREngine
 from repro.core.query import KORQuery
 from repro.core.results import KORResult
 from repro.exceptions import QueryError
+from repro.graph.mutation import GraphMutator, resolve_ops
 from repro.service.backends import (
     DEFAULT_WORKERS,
     EngineHandle,
     ExecutionBackend,
+    PartPatch,
 )
 from repro.service.batch import BatchReport, _LocalTask, execute_batch
 from repro.service import faults
@@ -88,6 +91,12 @@ class QueryService:
         self._wave_kernels = wave_kernels
         self._backend = backend
         self._handle = EngineHandle(engine)
+        self._epoch = 0
+        self._update_lock = threading.Lock()
+        self._mutator: GraphMutator | None = None
+        # Set by build_service when it constructed the backend itself;
+        # close() then owns the backend's lifecycle too.
+        self._owns_backend = False
         if backend is not None:
             backend.register(self._handle)
 
@@ -118,6 +127,15 @@ class QueryService:
     def stats(self) -> ServiceStats:
         """Serving metrics (latency percentiles, hit rate, throughput)."""
         return self._stats
+
+    @property
+    def epoch(self) -> int:
+        """Graph epoch: applied updates / engine swaps since construction.
+
+        Clients compare this against the epoch stamped on responses to
+        detect results computed against a retired graph.
+        """
+        return self._epoch
 
     def snapshot(self) -> StatsSnapshot:
         """One frozen view of the serving story.
@@ -154,10 +172,107 @@ class QueryService:
         retired = self._handle
         self._engine = engine
         self._handle = EngineHandle(engine)
+        # The mutation history described the retired graph.
+        self._mutator = None
+        self._epoch += 1
         if self._backend is not None:
             self._backend.unregister(retired.key)
             self._backend.register(self._handle)
         self._cache.invalidate()
+
+    def close(self) -> None:
+        """Retire this service's engine from the backend (idempotent).
+
+        On a shared backend the handle would otherwise stay registered —
+        and keep shipping to new pool workers — for the backend's
+        lifetime.  The backend itself is only closed when
+        :func:`~repro.service.config.build_service` created it for this
+        service.
+        """
+        if self._backend is not None:
+            self._backend.unregister(self._handle.key)
+            if self._owns_backend:
+                self._backend.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # live mutation
+    # ------------------------------------------------------------------
+    def apply_ops(self, ops: Sequence[Mapping[str, object]]) -> int:
+        """Apply wire-shaped graph mutations; returns the new epoch.
+
+        The flat service has no partition, so repair *is* a full
+        rebuild: tables and index are recomputed over the mutated graph
+        (the sharded service repairs incrementally — see
+        :meth:`repro.service.sharding.ShardedQueryService.apply_ops`).
+        What it shares with the sharded path is the delivery protocol:
+        the engine handle is reset in place (same key), pool workers
+        receive a :class:`~repro.service.backends.PartPatch` through
+        their ordinary task queues, and the cache is invalidated exactly
+        once after the swap — in-flight queries finish on the old-epoch
+        engine and their write-backs are dropped by the epoch guard.
+        """
+        with self._update_lock:
+            if self._mutator is None:
+                self._mutator = GraphMutator(self._engine.graph)
+            delta = resolve_ops(self._mutator, ops)
+            engine = type(self._engine)(self._mutator.graph)
+            self._engine = engine
+            self._handle.reset(engine)
+            if self._backend is not None:
+                # A delta that interned new keywords must ship the full
+                # graph: the worker would intern in merged-delta order,
+                # not op order, and disagree with the shipped index on
+                # keyword ids.
+                structural_only = not delta.set_keywords
+                self._backend.apply_patches(
+                    [
+                        PartPatch(
+                            key=self._handle.key,
+                            graph=None if structural_only else engine.graph,
+                            graph_delta=delta if structural_only else None,
+                            tables=engine.tables,
+                            index=engine.index,
+                        )
+                    ]
+                )
+            self._epoch += 1
+            self._cache.invalidate()
+            return self._epoch
+
+    def update_edge_cost(
+        self,
+        u: int,
+        v: int,
+        objective: float | None = None,
+        budget: float | None = None,
+    ) -> int:
+        """Re-cost edge ``(u, v)``; returns the new epoch."""
+        op = {"op": "update_edge_cost", "u": u, "v": v}
+        if objective is not None:
+            op["objective"] = objective
+        if budget is not None:
+            op["budget"] = budget
+        return self.apply_ops([op])
+
+    def close_node(self, node: int) -> int:
+        """Take *node* out of service; returns the new epoch."""
+        return self.apply_ops([{"op": "close_node", "node": node}])
+
+    def open_node(self, node: int) -> int:
+        """Restore a closed node; returns the new epoch."""
+        return self.apply_ops([{"op": "open_node", "node": node}])
+
+    def update_keywords(self, node: int, keywords: Iterable[str]) -> int:
+        """Replace *node*'s keywords; returns the new epoch."""
+        return self.apply_ops(
+            [{"op": "update_keywords", "node": node, "keywords": list(keywords)}]
+        )
 
     # ------------------------------------------------------------------
     # single queries

@@ -54,9 +54,10 @@ from __future__ import annotations
 
 import itertools
 import math
+import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -67,12 +68,12 @@ from repro.core.results import KORResult
 from repro.core.route import Route
 from repro.exceptions import QueryError
 from repro.graph.digraph import SpatialKeywordGraph
-from repro.index.inverted import InvertedIndex
-from repro.prep.partition import GraphPartition, partition_graph
+from repro.prep.partition import GraphPartition
 from repro.service.backends import (
     DEFAULT_WORKERS,
     EngineHandle,
     ExecutionBackend,
+    PartPatch,
     ShardTask,
     TaskOutcome,
     ThreadBackend,
@@ -86,6 +87,7 @@ from repro.service.batch import (
 from repro.service.cache import ResultCache
 from repro.service.crosscell import BorderEngine
 from repro.service.stats import ServiceStats, StatsSnapshot
+from repro.world import CellState, MutableWorld, WorldUpdate
 
 __all__ = ["Shard", "ShardedQueryService"]
 
@@ -171,63 +173,74 @@ class ShardedQueryService:
 
     def __init__(
         self,
-        graph: SpatialKeywordGraph,
+        graph: SpatialKeywordGraph | None = None,
         num_cells: int | None = None,
         seed: int = 0,
         backend: ExecutionBackend | None = None,
         cache_capacity: int = 1024,
         default_workers: int = DEFAULT_WORKERS,
         max_cached_route_nodes: int | None = None,
+        world: MutableWorld | None = None,
     ) -> None:
         if default_workers < 1:
             raise QueryError(f"default_workers must be >= 1, got {default_workers}")
-        self._graph = graph
-        if num_cells is None:
-            num_cells = default_num_cells(graph.num_nodes)
-        self._partition: GraphPartition = partition_graph(graph, num_cells, seed=seed)
+        if world is None:
+            if graph is None:
+                raise QueryError("ShardedQueryService needs a graph or a world")
+            world = MutableWorld(graph, num_cells=num_cells, seed=seed)
+        elif graph is not None and graph is not world.graph:
+            raise QueryError(
+                "pass either a graph or a world, not both: the world carries "
+                "its own graph"
+            )
+        self._world = world
+        self._graph = world.graph
+        self._partition: GraphPartition = world.partition
         self._owns_backend = backend is None
         self._backend = backend if backend is not None else ThreadBackend(default_workers)
         self._default_workers = default_workers
         self._cache = ResultCache(cache_capacity, max_route_nodes=max_cached_route_nodes)
         self._stats = ServiceStats()
+        self._update_lock = threading.Lock()
 
-        prefix = f"svc{next(_SERVICE_COUNTER)}/"
-        shards: list[Shard] = []
-        for cell, nodes in enumerate(self._partition.cells):
-            subgraph, to_local = graph.induced_subgraph([int(v) for v in nodes])
-            to_global = np.array(sorted(to_local), dtype=np.int64)
-            engine = KOREngine(subgraph)
-            handle = EngineHandle(engine, key=f"{prefix}cell-{cell}")
-            shards.append(
-                Shard(
-                    key=handle.key,
-                    cell=cell,
-                    engine=engine,
-                    handle=handle,
-                    to_local=to_local,
-                    to_global=to_global,
-                )
-            )
-        self._shards = tuple(shards)
-        # The cross-cell tier *shares* the cell tables the shard engines
-        # just built — the only additional state is the border tier (and,
-        # with one cell, not even that: the single cell is the graph and
-        # the border inventory is empty).  The full-graph inverted index
-        # is cheap (O(postings)); with one cell the shard's index already
-        # covers the whole graph, so it is reused outright.
-        index: InvertedIndex | None = shards[0].engine.index if num_cells == 1 else None
-        self._border_engine = BorderEngine.from_partition(
-            graph,
-            self._partition,
-            tuple(shard.engine.tables for shard in self._shards),
-            index=index,
+        # The world already materialised every cell's subgraph, tables
+        # and index — shard engines assemble from those parts and pay
+        # zero extra pre-processing; the cross-cell tier shares the very
+        # same cell tables (its only additional state is the border
+        # tier, and with one cell not even that).
+        self._prefix = f"svc{next(_SERVICE_COUNTER)}/"
+        self._shards = tuple(
+            self._build_shard(state, handle=None) for state in world.cells
+        )
+        self._border_engine = BorderEngine(
+            self._graph, tables=world.tables, index=world.index
         )
         self._crosscell_handle = EngineHandle(
-            self._border_engine, key=f"{prefix}crosscell"
+            self._border_engine, key=f"{self._prefix}crosscell"
         )
         for shard in self._shards:
             self._backend.register(shard.handle)
         self._backend.register(self._crosscell_handle)
+
+    def _build_shard(self, state: CellState, handle: EngineHandle | None) -> Shard:
+        """A :class:`Shard` over one world cell's pre-built parts.
+
+        With ``handle`` given (live update), the existing handle is
+        reset in place so every registry keyed by it stays valid.
+        """
+        engine = KOREngine(state.subgraph, tables=state.tables, index=state.index)
+        if handle is None:
+            handle = EngineHandle(engine, key=f"{self._prefix}cell-{state.cell}")
+        else:
+            handle.reset(engine)
+        return Shard(
+            key=handle.key,
+            cell=state.cell,
+            engine=engine,
+            handle=handle,
+            to_local=state.to_local,
+            to_global=state.to_global,
+        )
 
     @classmethod
     def from_engine(cls, engine: KOREngine, **kwargs) -> "ShardedQueryService":
@@ -246,6 +259,16 @@ class ShardedQueryService:
     def partition(self) -> GraphPartition:
         """The node-to-cell assignment behind the shards."""
         return self._partition
+
+    @property
+    def world(self) -> MutableWorld:
+        """The mutable world this service serves (graph + tables + index)."""
+        return self._world
+
+    @property
+    def epoch(self) -> int:
+        """Graph epoch: number of updates applied since construction."""
+        return self._world.epoch
 
     @property
     def shards(self) -> tuple[Shard, ...]:
@@ -328,6 +351,120 @@ class ShardedQueryService:
     def invalidate_cache(self) -> int:
         """Drop every cached result and bump the cache epoch."""
         return self._cache.invalidate()
+
+    # ------------------------------------------------------------------
+    # live mutation
+    # ------------------------------------------------------------------
+    def apply_ops(self, ops: Sequence[Mapping[str, object]]) -> int:
+        """Apply wire-shaped graph mutations; returns the new epoch.
+
+        The world performs the incremental repair (only the mutated
+        cells' tables plus the border tier recompute); this method then
+        lands the repaired parts in the serving plane under an **epoch
+        fence**: affected shard handles are reset in place (same keys),
+        pool workers receive :class:`~repro.service.backends.PartPatch`
+        deltas through their ordinary FIFO task queues — so every task
+        submitted before the update runs against the old state and every
+        task after against the new — and the result cache is invalidated
+        exactly once at the end, which also makes the epoch guard drop
+        write-backs from queries still finishing on the old graph.
+        """
+        with self._update_lock:
+            update = self._world.apply_ops(ops)
+            self._integrate(update)
+            return self._world.epoch
+
+    def update_edge_cost(
+        self,
+        u: int,
+        v: int,
+        objective: float | None = None,
+        budget: float | None = None,
+    ) -> int:
+        """Re-cost edge ``(u, v)``; returns the new epoch."""
+        op = {"op": "update_edge_cost", "u": u, "v": v}
+        if objective is not None:
+            op["objective"] = objective
+        if budget is not None:
+            op["budget"] = budget
+        return self.apply_ops([op])
+
+    def close_node(self, node: int) -> int:
+        """Take *node* out of service; returns the new epoch."""
+        return self.apply_ops([{"op": "close_node", "node": node}])
+
+    def open_node(self, node: int) -> int:
+        """Restore a closed node; returns the new epoch."""
+        return self.apply_ops([{"op": "open_node", "node": node}])
+
+    def update_keywords(self, node: int, keywords: Iterable[str]) -> int:
+        """Replace *node*'s keywords; returns the new epoch."""
+        return self.apply_ops(
+            [{"op": "update_keywords", "node": node, "keywords": list(keywords)}]
+        )
+
+    def _integrate(self, update: WorldUpdate) -> None:
+        """Land one applied :class:`~repro.world.WorldUpdate` in the
+        serving plane (caller holds the update lock)."""
+        world = self._world
+        self._graph = world.graph
+
+        patches: list[PartPatch] = []
+        repaired = set(update.repaired_cells)
+        reindexed = {
+            cell
+            for cell in update.refreshed_cells
+            if world.cells[cell].index is not self._shards[cell].engine.index
+        }
+        shards = list(self._shards)
+        for cell in update.refreshed_cells:
+            state = world.cells[cell]
+            shards[cell] = self._build_shard(state, handle=shards[cell].handle)
+            patches.append(
+                PartPatch(
+                    key=shards[cell].key,
+                    # Cell subgraphs are small: shipping the refreshed one
+                    # outright is cheaper than delta bookkeeping in local
+                    # ids — and sidesteps keyword-id order entirely.
+                    graph=state.subgraph,
+                    tables=state.tables if cell in repaired else None,
+                    index=state.index if cell in reindexed else None,
+                )
+            )
+        self._shards = tuple(shards)
+
+        # The cross-cell twin always refreshes: even a keyword-only
+        # change rewrote the full graph it binds queries against.
+        self._border_engine = BorderEngine(
+            self._graph, tables=world.tables, index=world.index
+        )
+        self._crosscell_handle.reset(self._border_engine)
+        delta = update.delta
+        # A delta that interned new keywords cannot be replayed remotely:
+        # the worker would intern in merged-delta order, not op order,
+        # and disagree with the shipped index on keyword ids.  Ship the
+        # full graph in that case (adjacency-sized, not table-sized).
+        structural_only = not delta.set_keywords
+        patches.append(
+            PartPatch(
+                key=self._crosscell_handle.key,
+                graph=None if structural_only else self._graph,
+                graph_delta=delta if structural_only else None,
+                cell_tables=tuple(
+                    (cell, world.cells[cell].tables) for cell in update.repaired_cells
+                ),
+                border=(
+                    tuple(
+                        (name, getattr(world.tables, name)) for name in _BORDER_ARRAYS
+                    )
+                    if update.border_rebuilt
+                    else ()
+                ),
+                index=world.index if update.index_rebuilt else None,
+            )
+        )
+        self._backend.apply_patches(patches)
+        self._cache.invalidate()
 
     def close(self) -> None:
         """Retire this service's engines from the backend (idempotent).

@@ -24,7 +24,8 @@ from repro.server import (
     http_request,
     serve,
 )
-from repro.service import AsyncQueryService, QueryService
+from repro.service import AsyncQueryService, QueryService, build_service
+from repro.world import MutableWorld
 
 from tests.service.test_differential import fingerprint, random_instance
 from tests.service.test_frontend import SlowEngine
@@ -78,7 +79,13 @@ class TestHTTPDifferential:
                     await front.submit(query, algorithm=algorithm) for query in queries
                 ]
 
-        expected = [canonical_bytes(encode_route_result(r)) for r in asyncio.run(direct())]
+        # The server stamps every result with the graph epoch it served
+        # under (0 here: the module fixture never mutates); the direct
+        # encoding must carry the same stamp to stay byte-identical.
+        expected = [
+            canonical_bytes(encode_route_result(r, epoch=0))
+            for r in asyncio.run(direct())
+        ]
         got = []
         for query in queries:
             response = over_http(server, "POST", "/query", query_payload(query, algorithm))
@@ -249,3 +256,167 @@ class TestOperationalSurface:
             assert payload["window_seconds"] == pytest.approx(0.008)
         finally:
             server.close()
+
+
+class TestAdminUpdate:
+    """``/admin/update`` (ISSUE 9): live mutation through the front door."""
+
+    def _fresh(self):
+        engine, queries = random_instance(0)
+        world = MutableWorld(engine.graph, num_cells=2)
+        front = build_service(world, tier="async")
+        return KORApp(front), world, queries
+
+    def test_update_acks_with_the_new_epoch_and_serving_follows(self):
+        app, world, queries = self._fresh()
+        payload = query_payload(queries[0], "exact")
+
+        async def drive():
+            before = await asgi_request(app, "POST", "/query", payload)
+            ack = await asgi_request(
+                app,
+                "POST",
+                "/admin/update",
+                {
+                    "schema": "kor.graph_update.v1",
+                    "ops": [{"op": "update_keywords", "node": 0,
+                             "keywords": ["pub", "mall"]}],
+                },
+            )
+            after = await asgi_request(app, "POST", "/query", payload)
+            health = await asgi_request(app, "GET", "/healthz")
+            stats = await asgi_request(app, "GET", "/stats")
+            await app.frontend.close()
+            return before, ack, after, health, stats
+
+        before, ack, after, health, stats = asyncio.run(drive())
+        assert ack.status == 200
+        body = ack.json()
+        assert body["schema"] == "kor.graph_update_ack.v1"
+        assert body == {"schema": "kor.graph_update_ack.v1", "epoch": 1, "applied": 1}
+        # Every result is stamped with the epoch it was served under.
+        assert before.json()["epoch"] == 0
+        assert after.json()["epoch"] == 1
+        # The operational surface reports the same epoch.
+        assert health.json()["epoch"] == 1
+        assert stats.json()["epoch"] == 1
+        assert world.epoch == 1
+
+    def test_post_update_results_match_a_rebuilt_world(self):
+        app, world, queries = self._fresh()
+        u, v = next(
+            (u, v)
+            for u in range(world.graph.num_nodes)
+            for v, _o, _b in world.graph.out_edges(u)
+        )
+
+        async def drive():
+            ack = await asgi_request(
+                app,
+                "POST",
+                "/admin/update",
+                {"ops": [{"op": "update_edge_cost", "u": u, "v": v,
+                          "objective": 9.0, "budget": 9.0}]},
+            )
+            answers = [
+                await asgi_request(app, "POST", "/query", query_payload(q, "exact"))
+                for q in queries
+            ]
+            await app.frontend.close()
+            return ack, answers
+
+        ack, answers = asyncio.run(drive())
+        assert ack.status == 200
+        from repro.service import ShardedQueryService
+
+        oracle = ShardedQueryService(world=world.rebuilt())
+        try:
+            for query, response in zip(queries, answers):
+                assert response.status == 200
+                expected = oracle.run_batch([query], algorithm="exact")[0]
+                assert fingerprint(decode_route_result(response.json())) == fingerprint(
+                    expected
+                )
+        finally:
+            oracle.close()
+
+    def test_error_mapping_for_updates(self):
+        app, world, _queries = self._fresh()
+
+        async def drive():
+            malformed = await asgi_request(
+                app, "POST", "/admin/update", {"ops": [{"op": "set_on_fire"}]}
+            )
+            semantic = await asgi_request(
+                app,
+                "POST",
+                "/admin/update",
+                {"ops": [{"op": "open_node", "node": 0}]},  # not closed
+            )
+            await app.frontend.close()
+            return malformed, semantic
+
+        malformed, semantic = asyncio.run(drive())
+        assert malformed.status == 400
+        assert malformed.json()["error"]["type"] == "WireError"
+        assert semantic.status == 400
+        assert semantic.json()["error"]["type"] == "MutationError"
+        assert world.epoch == 0  # nothing was applied
+
+    def test_updates_pass_while_the_app_drains(self):
+        """Operators must be able to push updates during drain: the
+        endpoint is deliberately outside the work-admission budget."""
+        app, world, queries = self._fresh()
+        app.begin_drain()
+
+        async def drive():
+            refused = await asgi_request(
+                app, "POST", "/query", query_payload(queries[0], "exact")
+            )
+            accepted = await asgi_request(
+                app,
+                "POST",
+                "/admin/update",
+                {"ops": [{"op": "update_keywords", "node": 1, "keywords": []}]},
+            )
+            await app.frontend.close()
+            return refused, accepted
+
+        refused, accepted = asyncio.run(drive())
+        assert refused.status == 503
+        assert accepted.status == 200
+        assert accepted.json()["epoch"] == world.epoch == 1
+
+    def test_frontend_without_mutation_support_maps_to_400(self):
+        """A front over a service with no ``apply_ops`` answers 400,
+        not 500 — the transport stays honest about capability."""
+        engine, _queries = random_instance(1)
+
+        class NoMutation:
+            """Delegating proxy that hides the mutation API."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                if name in ("apply_ops", "epoch"):
+                    raise AttributeError(name)
+                return getattr(self._inner, name)
+
+        async def drive():
+            async with AsyncQueryService(NoMutation(QueryService(engine))) as front:
+                app = KORApp(front)
+                response = await asgi_request(
+                    app,
+                    "POST",
+                    "/admin/update",
+                    {"ops": [{"op": "close_node", "node": 0}]},
+                )
+                health = await asgi_request(app, "GET", "/healthz")
+                return response, health
+
+        response, health = asyncio.run(drive())
+        assert response.status == 400
+        assert response.json()["error"]["type"] == "QueryError"
+        # No epoch to report either — the field stays additive.
+        assert "epoch" not in health.json()

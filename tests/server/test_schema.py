@@ -21,7 +21,9 @@ from repro.server.schema import (
     encode_batch,
     encode_error,
     encode_route_result,
+    encode_update_ack,
     decode_route_result,
+    parse_graph_update,
     parse_route_query,
     validate_route_result,
 )
@@ -218,3 +220,109 @@ class TestEnvelopes:
         assert envelope == {
             "error": {"type": "WireError", "message": "bad payload"}
         }
+
+
+class TestGraphUpdateWire:
+    """The ``kor.graph_update.v1`` / ``..._ack.v1`` surfaces (ISSUE 9)."""
+
+    def payload(self, **overrides):
+        body = {
+            "schema": "kor.graph_update.v1",
+            "ops": [
+                {"op": "update_edge_cost", "u": 0, "v": 1, "objective": 2.0},
+                {"op": "close_node", "node": 2},
+                {"op": "open_node", "node": 2},
+                {"op": "update_keywords", "node": 1, "keywords": ["pub"]},
+            ],
+        }
+        body.update(overrides)
+        return body
+
+    def test_parse_returns_mutator_shaped_ops(self):
+        ops = parse_graph_update(self.payload())
+        assert [op["op"] for op in ops] == [
+            "update_edge_cost", "close_node", "open_node", "update_keywords",
+        ]
+        assert ops[0] == {"op": "update_edge_cost", "u": 0, "v": 1, "objective": 2.0}
+        assert ops[3]["keywords"] == ["pub"]
+
+    def test_schema_field_is_optional_but_checked(self):
+        body = self.payload()
+        del body["schema"]
+        assert len(parse_graph_update(body)) == 4
+        with pytest.raises(WireError, match="unsupported schema"):
+            parse_graph_update(self.payload(schema="kor.graph_update.v9"))
+
+    def test_ops_must_be_a_non_empty_list(self):
+        for ops in ([], None, "close it all"):
+            with pytest.raises(WireError, match="non-empty list"):
+                parse_graph_update(self.payload(ops=ops))
+
+    def test_unknown_op_is_rejected_with_position(self):
+        with pytest.raises(WireError, match=r"ops\[0\].*unknown op"):
+            parse_graph_update(self.payload(ops=[{"op": "set_on_fire"}]))
+
+    def test_update_edge_cost_needs_a_weight(self):
+        with pytest.raises(WireError, match="'objective', 'budget', or both"):
+            parse_graph_update(
+                self.payload(ops=[{"op": "update_edge_cost", "u": 0, "v": 1}])
+            )
+
+    @pytest.mark.parametrize("weight", (0, -1.5, "cheap", True))
+    def test_non_positive_weights_are_rejected(self, weight):
+        with pytest.raises(WireError):
+            parse_graph_update(
+                self.payload(
+                    ops=[{"op": "update_edge_cost", "u": 0, "v": 1,
+                          "objective": weight}]
+                )
+            )
+
+    @pytest.mark.parametrize("node", (-1, 1.5, "zero", True, None))
+    def test_bad_node_ids_are_rejected(self, node):
+        with pytest.raises(WireError):
+            parse_graph_update(self.payload(ops=[{"op": "close_node", "node": node}]))
+
+    def test_bad_keywords_are_rejected(self):
+        for keywords in (None, "pub", ["pub", ""], [1]):
+            with pytest.raises(WireError, match="keywords"):
+                parse_graph_update(
+                    self.payload(
+                        ops=[{"op": "update_keywords", "node": 0,
+                              "keywords": keywords}]
+                    )
+                )
+
+    def test_ack_envelope(self):
+        ack = encode_update_ack(7, applied=3)
+        assert ack == {
+            "schema": "kor.graph_update_ack.v1",
+            "epoch": 7,
+            "applied": 3,
+        }
+
+
+class TestResultEpochStamp:
+    """The additive ``epoch`` field on ``kor.route_result.v1``."""
+
+    def result(self):
+        engine, queries = random_instance(0)
+        return engine.run(queries[0], algorithm="exact")
+
+    def test_epoch_is_absent_unless_supplied(self):
+        document = encode_route_result(self.result())
+        assert "epoch" not in document
+        validate_route_result(document)
+
+    def test_epoch_round_trips_and_validates(self):
+        document = encode_route_result(self.result(), epoch=5)
+        assert document["epoch"] == 5
+        validate_route_result(document)
+        json.loads(json.dumps(document))  # wire-safe
+
+    @pytest.mark.parametrize("epoch", (-1, 1.5, "five", True))
+    def test_bad_epoch_is_rejected(self, epoch):
+        document = encode_route_result(self.result())
+        document["epoch"] = epoch
+        with pytest.raises(WireError, match="epoch"):
+            validate_route_result(document)

@@ -1,0 +1,154 @@
+"""The unified construction API: ``ServiceConfig`` + ``build_service``.
+
+Satellite (a) of the dynamic-world issue: one factory replaces the
+constructor-kwarg sprawl across the three tiers.  The contracts under
+test — tier selection from the world's type, string-backend resolution
+with lifecycle ownership, override validation, and equivalence with the
+old constructors (which stay supported).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import KOREngine
+from repro.exceptions import QueryError
+from repro.service import (
+    AsyncQueryService,
+    QueryService,
+    ServiceConfig,
+    ShardedQueryService,
+    ThreadBackend,
+    build_service,
+)
+from repro.world import MutableWorld
+
+from tests.service.test_differential import fingerprint, random_instance
+
+
+@pytest.fixture
+def graph():
+    engine, _queries = random_instance(0)
+    return engine.graph
+
+
+class TestServiceConfig:
+    def test_defaults_mirror_the_constructors(self):
+        config = ServiceConfig()
+        assert config.tier == "auto"
+        assert config.backend is None
+        assert config.cache_capacity == 1024
+
+    def test_unknown_tier_is_rejected(self):
+        with pytest.raises(QueryError, match="unknown service tier"):
+            ServiceConfig(tier="galactic")
+
+    def test_bad_worker_count_is_rejected(self):
+        with pytest.raises(QueryError, match="workers"):
+            ServiceConfig(workers=0)
+
+    def test_with_overrides_rejects_unknown_fields(self):
+        config = ServiceConfig()
+        assert config.with_overrides(workers=3).workers == 3
+        with pytest.raises(QueryError, match="unknown ServiceConfig field"):
+            config.with_overrides(wrokers=3)
+
+
+class TestTierSelection:
+    def test_bare_graph_defaults_to_flat(self, graph):
+        service = build_service(graph)
+        assert type(service) is QueryService
+
+    def test_mutable_world_defaults_to_sharded(self, graph):
+        world = MutableWorld(graph, num_cells=2)
+        service = build_service(world)
+        assert type(service) is ShardedQueryService
+        assert service.world is world
+
+    def test_num_cells_promotes_a_graph_to_sharded(self, graph):
+        service = build_service(graph, num_cells=2)
+        assert type(service) is ShardedQueryService
+
+    def test_explicit_flat_wins_over_world(self, graph):
+        world = MutableWorld(graph, num_cells=2)
+        service = build_service(world, tier="flat")
+        assert type(service) is QueryService
+        assert service.engine.graph is world.graph
+
+    def test_engine_is_reused_by_the_flat_tier(self, graph):
+        engine = KOREngine(graph)
+        service = build_service(engine)
+        assert service.engine is engine
+
+    def test_async_tier_wraps_the_auto_selected_sync_tier(self, graph):
+        front = build_service(graph, tier="async")
+        assert type(front) is AsyncQueryService
+        assert type(front.service) is QueryService
+        front_sharded = build_service(MutableWorld(graph, num_cells=2), tier="async")
+        assert type(front_sharded.service) is ShardedQueryService
+
+
+class TestBackendOwnership:
+    def test_string_backend_is_owned_and_closed(self, graph):
+        service = build_service(graph, backend="thread", workers=2)
+        backend = service.backend
+        assert isinstance(backend, ThreadBackend)
+        service.run_batch([], algorithm="exact")  # force the pool alive
+        backend.submit_call(lambda: None).result()
+        assert backend._executor is not None
+        service.close()
+        # Closing a factory-owned backend shuts its pool down.
+        assert backend._executor is None
+
+    def test_backend_instance_is_shared_and_left_open(self, graph):
+        backend = ThreadBackend(workers=2)
+        try:
+            backend.submit_call(lambda: None).result()
+            service = build_service(graph, backend=backend)
+            assert service.backend is backend
+            service.close()
+            # A caller-supplied backend is never closed by the service.
+            assert backend._executor is not None
+        finally:
+            backend.close()
+
+
+class TestFactoryEquivalence:
+    def test_factory_flat_equals_constructor_flat(self, graph):
+        engine, queries = random_instance(0)
+        old_style = QueryService(KOREngine(graph), cache_capacity=256)
+        new_style = build_service(graph, cache_capacity=256)
+        for algorithm in ("bucketbound", "exact"):
+            lhs = old_style.run_batch(queries, algorithm=algorithm)
+            rhs = new_style.run_batch(queries, algorithm=algorithm)
+            assert [fingerprint(r) for r in lhs] == [fingerprint(r) for r in rhs]
+
+    def test_factory_sharded_equals_constructor_sharded(self, graph):
+        _engine, queries = random_instance(0)
+        old_style = ShardedQueryService(graph, num_cells=2, seed=0)
+        new_style = build_service(graph, num_cells=2, seed=0)
+        try:
+            for algorithm in ("bucketbound", "exact"):
+                lhs = old_style.run_batch(queries, algorithm=algorithm)
+                rhs = new_style.run_batch(queries, algorithm=algorithm)
+                assert [fingerprint(r) for r in lhs] == [
+                    fingerprint(r) for r in rhs
+                ]
+        finally:
+            old_style.close()
+            new_style.close()
+
+    def test_factory_built_service_supports_mutation(self, graph):
+        service = build_service(MutableWorld(graph, num_cells=2))
+        try:
+            epoch = service.update_edge_cost(
+                *next(
+                    (u, v)
+                    for u in range(graph.num_nodes)
+                    for v, _o, _b in graph.out_edges(u)
+                ),
+                objective=2.5,
+            )
+            assert epoch == service.epoch == 1
+        finally:
+            service.close()
