@@ -96,6 +96,7 @@ def _collect_qps() -> dict[str, float]:
         kernel_throughput,
         service_throughput,
         sharded_throughput,
+        sharded_wave_throughput,
         update_latency,
     )
 
@@ -139,6 +140,14 @@ def _collect_qps() -> dict[str, float]:
     for position, backend in enumerate(kernel.xs):
         metrics[f"kernel/{backend}/per_query_qps"] = kernel.series["Per-query-tasks"][position]
         metrics[f"kernel/{backend}/wave_qps"] = kernel.series["Batch-wave"][position]
+
+    # Shard-aware wave scatter vs per-query ShardTasks, same policy:
+    # both modes gated so a scatter-path slowdown and a per-query-path
+    # slowdown are caught independently.
+    wave = sharded_wave_throughput(backend_names=gated_backends)
+    for position, backend in enumerate(wave.xs):
+        metrics[f"wave/{backend}/per_query_qps"] = wave.series["Per-query-tasks"][position]
+        metrics[f"wave/{backend}/wave_qps"] = wave.series["Shard-waves"][position]
 
     # Dynamic-world repair: updates/second at each cell granularity, plus
     # the full-rebuild rate it must beat.  Gating both sides catches a

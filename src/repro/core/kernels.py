@@ -66,6 +66,7 @@ __all__ = [
     "TargetColumns",
     "WaveOutcome",
     "dominates_scores_block",
+    "jump_candidates_block",
     "run_wave",
 ]
 
@@ -146,6 +147,7 @@ class KernelContext:
         self._masks: dict[tuple, np.ndarray] = {}
         self._out: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         self._scaled: dict[tuple[float | None, int], np.ndarray] = {}
+        self._uncovered: dict[tuple, np.ndarray] = {}
 
     # -- target columns -------------------------------------------------
     def target_columns(self, tables, target: int) -> TargetColumns:
@@ -217,6 +219,29 @@ class KernelContext:
                     np.bitwise_or.at(masks, postings, np.int64(1) << np.int64(bit))
             self._remember(self._masks, key, masks)
         return masks
+
+    # -- Strategy 1 uncovered-node unions --------------------------------
+    def uncovered_union(self, binding, missing_mask: int) -> np.ndarray:
+        """Sorted union of nodes carrying any keyword in *missing_mask*.
+
+        The wave twin of ``SearchContext._uncovered_nodes``: identical
+        values (same ``np.unique`` over the same posting lists), keyed by
+        the binding's keyword tuple so every member binding the same
+        keywords shares one array per missing-mask.
+        """
+        key = (tuple(binding.keyword_ids), missing_mask)
+        nodes = self._uncovered.get(key)
+        if nodes is None:
+            lists = [
+                postings
+                for bit, postings in enumerate(binding.nodes_with_bit)
+                if missing_mask & (1 << bit) and len(postings)
+            ]
+            nodes = (
+                np.unique(np.concatenate(lists)) if lists else np.empty(0, dtype=np.int64)
+            )
+            self._remember(self._uncovered, key, nodes)
+        return nodes
 
     # -- adjacency blocks -------------------------------------------------
     def out_block(self, node: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -395,6 +420,86 @@ def _bound_of(search) -> float:
     return search.upper if isinstance(search, _OSScalingSearch) else search.best_low
 
 
+def jump_candidates_block(
+    kctx: KernelContext, jobs: Sequence[tuple]
+) -> list[tuple[int, float, float] | None]:
+    """Vector twin of ``SearchContext.jump_candidate`` for a whole wave.
+
+    *jobs* is a sequence of ``(search, label)`` pairs — one per popped
+    label.  Returns one candidate tuple (or ``None``) per job, exactly
+    what N independent ``jump_candidate`` calls would return:
+
+    * the per-member uncovered-node unions come from
+      :meth:`KernelContext.uncovered_union` (same ``np.unique`` values
+      the scalar memo holds);
+    * the ``BS(sigma_{i,j})`` gathers stack into one fancy-index when the
+      engine carries dense flat tables (element-identical to the scalar
+      row-then-gather — both copy the same float64 cells), falling back
+      to per-member row gathers on assembled/partitioned tables;
+    * feasibility ``(label.BS + seg + BS(sigma_{j,t})) <= Delta``
+      evaluates in one masked block with the scalar path's left-to-right
+      float association, and each member's winner is the first minimum
+      among its feasible candidates in node-sorted order — the scalar
+      ``np.argmin`` tie rule.
+    """
+    results: list[tuple[int, float, float] | None] = [None] * len(jobs)
+    meta: list[tuple[int, object, object, np.ndarray]] = []
+    for j, (search, label) in enumerate(jobs):
+        if not search.use_strategy1:
+            continue
+        ctx = search.ctx
+        missing = ctx.binding.full_mask & ~label.mask
+        if not missing:
+            continue
+        nodes = kctx.uncovered_union(ctx.binding, missing)
+        if len(nodes):
+            meta.append((j, ctx, label, nodes))
+    if not meta:
+        return results
+
+    lens = np.fromiter((len(nodes) for _, _, _, nodes in meta), dtype=np.int64, count=len(meta))
+    offsets = np.concatenate(([0], np.cumsum(lens)))
+
+    dense = getattr(kctx.tables, "bs_sigma", None)
+    if isinstance(dense, np.ndarray) and all(
+        ctx.tables is kctx.tables for _, ctx, _, _ in meta
+    ):
+        rows = np.repeat(
+            np.fromiter((label.node for _, _, label, _ in meta), dtype=np.int64, count=len(meta)),
+            lens,
+        )
+        cols = np.concatenate([nodes for _, _, _, nodes in meta])
+        seg_all = dense[rows, cols]
+    else:
+        seg_all = np.concatenate(
+            [ctx.tables.bs_sigma_row(label.node)[nodes] for _, ctx, label, nodes in meta]
+        )
+    bst_all = np.concatenate([ctx.bs_sigma_t[nodes] for _, ctx, _, nodes in meta])
+    bs_rep = np.repeat(
+        np.fromiter((label.bs for _, _, label, _ in meta), dtype=np.float64, count=len(meta)),
+        lens,
+    )
+    delta_rep = np.repeat(
+        np.fromiter((ctx.delta for _, ctx, _, _ in meta), dtype=np.float64, count=len(meta)),
+        lens,
+    )
+    feas_all = (bs_rep + seg_all + bst_all) <= delta_rep
+
+    for p, (j, ctx, label, nodes) in enumerate(meta):
+        lo, hi = offsets[p], offsets[p + 1]
+        feasible = feas_all[lo:hi]
+        if not feasible.any():
+            continue
+        seg = seg_all[lo:hi]
+        cand = np.flatnonzero(feasible)
+        seg_f = seg[cand]
+        best = int(np.argmin(seg_f))
+        vj = int(nodes[cand[best]])
+        seg_os = float(ctx.tables.os_sigma_at(label.node, vj))
+        results[j] = (vj, seg_os, float(seg_f[best]))
+    return results
+
+
 def _run_lockstep(
     kctx: KernelContext,
     entries: list[dict],
@@ -522,9 +627,10 @@ def _run_lockstep(
                         label, node_l[j], mask_l[j], os_l[j], bs_l[j], sos_l[j], VIA_EDGE
                     )
 
-        # -- per-search scalar tail: Strategy 1 jumps -------------------
-        for entry, label in pops:
-            entry["search"].jump(label)
+        # -- vectorized tail: Strategy 1 jumps --------------------------
+        jumps = jump_candidates_block(kctx, [(e["search"], l) for e, l in pops])
+        for (entry, label), jump in zip(pops, jumps):
+            entry["search"].jump_from(label, jump)
 
 
 def _finish(search, start: float) -> WaveOutcome:

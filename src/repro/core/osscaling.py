@@ -173,7 +173,15 @@ class _OSScalingSearch:
         """Optimisation Strategy 1's extra extension for *label*."""
         if not self.use_strategy1 or label.mask == self.full_mask:
             return
-        jump = self.ctx.jump_candidate(label)
+        self.jump_from(label, self.ctx.jump_candidate(label))
+
+    def jump_from(self, label: Label, jump: tuple[int, float, float] | None) -> None:
+        """Apply a precomputed Strategy-1 candidate (see ``jump``).
+
+        Split out so the batch kernels can evaluate candidates for a
+        whole wave in one vector block and feed each member's winner
+        back through the exact scalar bookkeeping.
+        """
         if jump is not None:
             vj, seg_os, seg_bs = jump
             self.stats.jump_labels_created += 1

@@ -174,8 +174,14 @@ class SearchContext:
         seg_bs = seg_bs[feasible]
         best = int(np.argmin(seg_bs))
         vj = int(candidates[best])
-        seg_os = float(self.tables.os_sigma_row(label.node)[vj])
+        seg_os = float(self.tables.os_sigma_at(label.node, vj))
         return vj, seg_os, float(seg_bs[best])
+
+    #: Cap on memoised uncovered-node unions per search context.  A
+    #: query with |kw| keywords has up to ``2^|kw| - 1`` distinct missing
+    #: masks; without a bound an adversarial many-keyword query could
+    #: pin that many live arrays for the lifetime of the search.
+    MAX_UNCOVERED_MEMO = 64
 
     def _uncovered_nodes(self, missing_mask: int) -> np.ndarray:
         cached = self._uncovered_union.get(missing_mask)
@@ -188,6 +194,8 @@ class SearchContext:
             cached = (
                 np.unique(np.concatenate(lists)) if lists else np.empty(0, dtype=np.int64)
             )
+            if len(self._uncovered_union) >= self.MAX_UNCOVERED_MEMO:
+                self._uncovered_union.pop(next(iter(self._uncovered_union)), None)
             self._uncovered_union[missing_mask] = cached
         return cached
 

@@ -488,6 +488,10 @@ class PartitionedCostTables:
         """Assembled ``BS(sigma_{i,j})`` for every ``j``."""
         return self._rows(i, "sigma")[0]
 
+    def os_sigma_at(self, i: int, j: int) -> float:
+        """``OS(sigma_{i,j})`` as a scalar, without assembling a row."""
+        return self.os_sigma(i, j)
+
     # ------------------------------------------------------------------
     # path materialisation (protocol shared with CostTables)
     # ------------------------------------------------------------------

@@ -171,6 +171,10 @@ class CostTables:
         """``BS(sigma_{i,j})`` for all ``j``."""
         return self.bs_sigma[i, :]
 
+    def os_sigma_at(self, i: int, j: int) -> float:
+        """``OS(sigma_{i,j})`` as a scalar, without materialising a row."""
+        return float(self.os_sigma[i, j])
+
     def reachable(self, i: int, j: int) -> bool:
         """Whether any path ``i -> j`` exists."""
         return bool(np.isfinite(self.os_tau[i, j]))

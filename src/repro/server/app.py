@@ -398,11 +398,17 @@ class KORApp:
         if isinstance(rate, bool) or not isinstance(rate, (int, float)):
             raise WireError("tune: 'arrival_qps' must be a number")
         window = self._front.tune(float(rate))
-        return 200, {
+        scheduling = self._front.scheduling_stats()
+        ack = {
             "window_seconds": window,
             "arrival_qps": self._front.arrival_qps,
-            "adaptive": self._front.scheduling_stats()["adaptive"],
+            "adaptive": scheduling["adaptive"],
         }
+        # Adaptive wave sizing rides the same rate signal; report the
+        # size now in effect when the wrapped tier has a controller.
+        if "wave_sizing" in scheduling:
+            ack["wave_size"] = scheduling["wave_sizing"]["wave_size"]
+        return 200, ack
 
     async def _admin_update(self, scope, body: bytes) -> tuple[int, dict]:
         """Apply a ``kor.graph_update.v1`` mutation batch to the world.

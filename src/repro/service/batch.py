@@ -55,13 +55,109 @@ from repro.service.backends import (
 from repro.service.cache import UNCACHEABLE_PARAMS, ResultCache, canonical_cache_key
 from repro.service import faults
 
-__all__ = ["BatchError", "BatchItem", "BatchReport", "DEFAULT_WAVE_SIZE", "execute_batch"]
+__all__ = [
+    "BatchError",
+    "BatchItem",
+    "BatchReport",
+    "DEFAULT_WAVE_SIZE",
+    "MAX_WAVE_SIZE",
+    "WaveSizeController",
+    "execute_batch",
+]
 
 #: How many unique computations one kernel wave carries.  Bigger waves
 #: amortise numpy dispatch better (more pooled edges per lockstep step)
 #: but serialise more work behind one submission; 32 queries x mean
 #: degree ~3 keeps each step's block in the hundreds of lanes.
 DEFAULT_WAVE_SIZE = 32
+
+#: Hard ceiling on adaptive growth: beyond this a wave serialises too
+#: much work behind one submission slot to be worth the wider blocks.
+MAX_WAVE_SIZE = 128
+
+#: Mean out-degree at which the base wave size already pools
+#: comfortably wide step blocks (road networks sit around 2-4).
+_REFERENCE_OUT_DEGREE = 4.0
+
+#: Arrival rate (queries/second, the micro-batcher's EWMA) above which
+#: the controller switches from the base to the grown wave size: under
+#: load, larger waves amortise submission overhead that would otherwise
+#: dominate; at low rates small waves keep per-wave latency low.
+_GROWTH_QPS_THRESHOLD = 64.0
+
+
+class WaveSizeController:
+    """Adaptive wave sizing for the kernel dispatch paths.
+
+    Replaces the fixed ``wave_size=32`` with a two-signal policy:
+
+    * **width** — how wide the pooled out-edge blocks get, proxied by the
+      graph's mean out-degree.  A denser graph pools more lanes per
+      member, so bigger waves keep amortising numpy dispatch instead of
+      just serialising work; the grown size scales the base by
+      ``degree / reference_degree``, clamped to ``[base, cap]``.
+    * **rate** — the arrival-rate EWMA the micro-batcher already tracks
+      (:meth:`~repro.service.frontend.AsyncQueryService.tune` feeds it
+      through ``tune_waves``).  Below the threshold the controller stays
+      at the base size (latency-friendly); at or above it, waves grow.
+
+    A controller built with ``fixed=True`` (the caller passed an explicit
+    ``wave_size``) always returns the base — the knob stays honest.
+    """
+
+    def __init__(
+        self,
+        base: int = DEFAULT_WAVE_SIZE,
+        *,
+        fixed: bool = False,
+        cap: int = MAX_WAVE_SIZE,
+        reference_degree: float = _REFERENCE_OUT_DEGREE,
+        rate_threshold: float = _GROWTH_QPS_THRESHOLD,
+    ) -> None:
+        if base < 1:
+            raise QueryError(f"wave_size must be >= 1, got {base}")
+        self.base = int(base)
+        self.fixed = bool(fixed)
+        self.cap = max(int(cap), self.base)
+        self.reference_degree = float(reference_degree)
+        self.rate_threshold = float(rate_threshold)
+        self._grown = self.base
+        self._arrival_qps = 0.0
+
+    def retarget(self, graph) -> None:
+        """Recompute the grown size from *graph*'s mean out-degree.
+
+        Called at service construction and again whenever the engine is
+        swapped or the world mutates (the graph's density may change).
+        """
+        if self.fixed:
+            return
+        degree = graph.num_edges / max(1, graph.num_nodes)
+        scaled = int(self.base * degree / self.reference_degree)
+        self._grown = max(self.base, min(self.cap, scaled))
+
+    def observe(self, arrival_qps: float) -> None:
+        """Feed the latest arrival-rate estimate (queries/second)."""
+        self._arrival_qps = max(0.0, float(arrival_qps))
+
+    @property
+    def wave_size(self) -> int:
+        """The wave size the next dispatch should use."""
+        if self.fixed:
+            return self.base
+        return self._grown if self._arrival_qps >= self.rate_threshold else self.base
+
+    def describe(self) -> dict:
+        """Snapshot of the policy for ``scheduling_stats`` / ``/tune``."""
+        return {
+            "mode": "fixed" if self.fixed else "adaptive",
+            "base": self.base,
+            "grown": self._grown,
+            "cap": self.cap,
+            "rate_threshold": self.rate_threshold,
+            "arrival_qps": self._arrival_qps,
+            "wave_size": self.wave_size,
+        }
 
 
 @dataclass
@@ -206,6 +302,7 @@ def execute_batch(
     deadline: Deadline | None = None,
     wave_kernels: bool = True,
     wave_size: int = DEFAULT_WAVE_SIZE,
+    stats=None,
 ) -> BatchReport:
     """Run *queries* through *engine* with caching and shared candidates.
 
@@ -226,6 +323,10 @@ def execute_batch(
     shared candidates) otherwise.  Results are bit-identical to the
     per-query path; a wave whose submission breaks outright is resubmitted
     member by member, so containment matches the per-query path too.
+
+    ``stats``, when given, is a :class:`~repro.service.stats.ServiceStats`
+    (or anything with ``record_wave`` / ``record_wave_solo``) receiving
+    the wave-dispatch occupancy counters.
     """
     params = dict(params or {})
     if "binding" in params or "candidates" in params:
@@ -272,6 +373,7 @@ def execute_batch(
                     shard=handle.key if handle is not None else "local",
                     wave_kernels=wave_kernels,
                     wave_size=wave_size,
+                    stats=stats,
                 )
             else:
                 _compute_on_backend(
@@ -284,6 +386,7 @@ def execute_batch(
                     deadline,
                     wave_kernels=wave_kernels,
                     wave_size=wave_size,
+                    stats=stats,
                 )
         finally:
             if owned is not None:
@@ -331,6 +434,7 @@ def _compute_in_process(
     shard: str = "local",
     wave_kernels: bool = True,
     wave_size: int = DEFAULT_WAVE_SIZE,
+    stats=None,
 ) -> None:
     """Closure path: shared candidate map, live engine, backend.map."""
     # One index pass for the whole batch: the union of every miss
@@ -340,7 +444,7 @@ def _compute_in_process(
     if wave_kernels and len(units) > 1:
         _compute_waves_in_process(
             engine, units, algorithm, params, backend, workers,
-            deadline, shard, candidates, wave_size,
+            deadline, shard, candidates, wave_size, stats,
         )
         return
     if deadline is not None:
@@ -376,12 +480,19 @@ def _compute_waves_in_process(
     shard: str,
     candidates: dict,
     wave_size: int,
+    stats=None,
 ) -> None:
     """Wave path on a live engine: chunk the unique computations into
     waves and run each through one kernel invocation (waves themselves
     still fan out over the backend)."""
     kctx = KernelContext(engine.graph, engine.tables)
     chunks = _chunked(units, wave_size)
+    if stats is not None:
+        for chunk in chunks:
+            if len(chunk) > 1:
+                stats.record_wave(len(chunk), wave_size)
+            else:
+                stats.record_wave_solo()
 
     def compute(chunk: list[_Unit]) -> None:
         # Same fault hook as the per-unit closure: members present to the
@@ -419,6 +530,7 @@ def _compute_on_backend(
     deadline: Deadline | None = None,
     wave_kernels: bool = True,
     wave_size: int = DEFAULT_WAVE_SIZE,
+    stats=None,
 ) -> None:
     """Task path: picklable ShardTasks against the engine's handle."""
     if handle is None:
@@ -435,11 +547,13 @@ def _compute_on_backend(
         )
     if wave_kernels and len(units) > 1:
         leftovers = _compute_waves_on_backend(
-            units, algorithm, params, backend, handle, deadline, wave_size
+            units, algorithm, params, backend, handle, deadline, wave_size, stats
         )
         if not leftovers:
             return
         units = leftovers
+        if stats is not None:
+            stats.record_wave_solo(len(leftovers))
     tasks = [
         ShardTask.build(handle.key, unit.query, algorithm, params, deadline=deadline)
         for unit in units
@@ -457,6 +571,7 @@ def _compute_waves_on_backend(
     handle: EngineHandle,
     deadline: Deadline | None,
     wave_size: int,
+    stats=None,
 ) -> list[_Unit]:
     """Submit the units as :class:`WaveTask` work; return the units of
     any wave whose *submission* broke (worker dead beyond retry,
@@ -472,6 +587,12 @@ def _compute_waves_on_backend(
         )
         for chunk in chunks
     ]
+    if stats is not None:
+        for chunk in chunks:
+            if len(chunk) > 1:
+                stats.record_wave(len(chunk), wave_size)
+            else:
+                stats.record_wave_solo()
     futures = [backend.submit_wave(wave) for wave in waves]
     leftovers: list[_Unit] = []
     for chunk, future in zip(chunks, futures):

@@ -65,7 +65,10 @@ class ServiceConfig:
     width), an :class:`~repro.service.backends.ExecutionBackend`
     instance (shared, never closed by the service), or ``None`` for each
     tier's historical default (flat: transient thread pools; sharded: an
-    owned thread backend).  ``wave_kernels`` only affects the flat tier.
+    owned thread backend).  ``wave_kernels`` toggles kernel-wave
+    dispatch on both sync tiers; ``wave_size`` fixes the wave size
+    (``None`` keeps the adaptive controller, see
+    :class:`~repro.service.batch.WaveSizeController`).
 
     The remaining fields mirror the constructor parameters of the same
     name on the sync services (``cache_capacity``,
@@ -79,6 +82,7 @@ class ServiceConfig:
     cache_capacity: int = 1024
     max_cached_route_nodes: int | None = None
     wave_kernels: bool = True
+    wave_size: int | None = None
     # sharded tier
     num_cells: int | None = None
     seed: int = 0
@@ -160,6 +164,8 @@ def build_service(
                 cache_capacity=config.cache_capacity,
                 default_workers=config.workers,
                 max_cached_route_nodes=config.max_cached_route_nodes,
+                wave_kernels=config.wave_kernels,
+                wave_size=config.wave_size,
             )
         else:
             graph = world.graph if isinstance(world, KOREngine) else world
@@ -171,6 +177,8 @@ def build_service(
                 cache_capacity=config.cache_capacity,
                 default_workers=config.workers,
                 max_cached_route_nodes=config.max_cached_route_nodes,
+                wave_kernels=config.wave_kernels,
+                wave_size=config.wave_size,
             )
         if owns_backend:
             # The service normally only owns a backend it defaulted into
@@ -189,6 +197,7 @@ def build_service(
             backend=backend,
             max_cached_route_nodes=config.max_cached_route_nodes,
             wave_kernels=config.wave_kernels,
+            wave_size=config.wave_size,
         )
         if owns_backend:
             service._owns_backend = True

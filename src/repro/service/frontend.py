@@ -250,6 +250,9 @@ class AsyncQueryService:
         stats["window_seconds"] = self._window
         stats["arrival_qps"] = self.arrival_qps
         stats["adaptive"] = self._adaptive_target is not None
+        wave_policy = getattr(self._service, "wave_policy", None)
+        if callable(wave_policy):
+            stats["wave_sizing"] = wave_policy()
         return stats
 
     @property
@@ -281,6 +284,7 @@ class AsyncQueryService:
             raise QueryError(f"arrival_qps must be >= 0, got {arrival_qps}")
         self._arrival_interval_ewma = (1.0 / arrival_qps) if arrival_qps > 0.0 else None
         self._retune_window()
+        self._feed_wave_sizing()
         return self._window
 
     def _observe_arrival(self, now: float) -> None:
@@ -296,6 +300,16 @@ class AsyncQueryService:
             alpha = self.ARRIVAL_EWMA_ALPHA
             self._arrival_interval_ewma = alpha * interval + (1.0 - alpha) * ewma
         self._retune_window()
+        self._feed_wave_sizing()
+
+    def _feed_wave_sizing(self) -> None:
+        """Share the arrival-rate EWMA with the wrapped service's
+        adaptive wave-size controller (when it has one): the same signal
+        that widens the batching window also justifies fatter kernel
+        waves."""
+        tune_waves = getattr(self._service, "tune_waves", None)
+        if callable(tune_waves):
+            tune_waves(self.arrival_qps)
 
     def _retune_window(self) -> None:
         """Window that collects ~``adaptive_target_batch`` flights.

@@ -36,7 +36,12 @@ from repro.service.backends import (
     ExecutionBackend,
     PartPatch,
 )
-from repro.service.batch import BatchReport, _LocalTask, execute_batch
+from repro.service.batch import (
+    BatchReport,
+    WaveSizeController,
+    _LocalTask,
+    execute_batch,
+)
 from repro.service import faults
 from repro.service.cache import UNCACHEABLE_PARAMS, ResultCache, canonical_cache_key
 from repro.service.stats import ServiceStats, StatsSnapshot
@@ -71,6 +76,11 @@ class QueryService:
         kernel waves (default True; see :mod:`repro.core.kernels`).
         Results are identical either way — turn off to force the
         one-submission-per-query path (e.g. when profiling it).
+    wave_size:
+        Fixed wave size, or ``None`` (default) for adaptive sizing: a
+        :class:`~repro.service.batch.WaveSizeController` grows waves
+        from the default when the graph's out-edge blocks are wide and
+        the observed arrival rate is high (see :meth:`tune_waves`).
     """
 
     def __init__(
@@ -81,6 +91,7 @@ class QueryService:
         backend: ExecutionBackend | None = None,
         max_cached_route_nodes: int | None = None,
         wave_kernels: bool = True,
+        wave_size: int | None = None,
     ) -> None:
         if default_workers < 1:
             raise QueryError(f"default_workers must be >= 1, got {default_workers}")
@@ -89,6 +100,12 @@ class QueryService:
         self._stats = ServiceStats()
         self._default_workers = default_workers
         self._wave_kernels = wave_kernels
+        self._wave_controller = (
+            WaveSizeController(wave_size, fixed=True)
+            if wave_size is not None
+            else WaveSizeController()
+        )
+        self._wave_controller.retarget(engine.graph)
         self._backend = backend
         self._handle = EngineHandle(engine)
         self._epoch = 0
@@ -127,6 +144,26 @@ class QueryService:
     def stats(self) -> ServiceStats:
         """Serving metrics (latency percentiles, hit rate, throughput)."""
         return self._stats
+
+    @property
+    def wave_size(self) -> int:
+        """The wave size the next batch dispatch will use."""
+        return self._wave_controller.wave_size
+
+    def tune_waves(self, arrival_qps: float) -> int:
+        """Feed the arrival-rate estimate into adaptive wave sizing.
+
+        Called by :class:`~repro.service.frontend.AsyncQueryService`
+        whenever its EWMA updates (and by ``/tune``); returns the wave
+        size now in effect.  A service built with an explicit
+        ``wave_size`` ignores the signal.
+        """
+        self._wave_controller.observe(arrival_qps)
+        return self._wave_controller.wave_size
+
+    def wave_policy(self) -> dict:
+        """The adaptive-sizing policy snapshot (``scheduling_stats``)."""
+        return self._wave_controller.describe()
 
     @property
     def epoch(self) -> int:
@@ -174,6 +211,7 @@ class QueryService:
         self._handle = EngineHandle(engine)
         # The mutation history described the retired graph.
         self._mutator = None
+        self._wave_controller.retarget(engine.graph)
         self._epoch += 1
         if self._backend is not None:
             self._backend.unregister(retired.key)
@@ -241,6 +279,7 @@ class QueryService:
                         )
                     ]
                 )
+            self._wave_controller.retarget(engine.graph)
             self._epoch += 1
             self._cache.invalidate()
             return self._epoch
@@ -387,6 +426,8 @@ class QueryService:
             handle=self._handle,
             deadline=deadline,
             wave_kernels=self._wave_kernels,
+            wave_size=self._wave_controller.wave_size,
+            stats=self._stats,
         )
         for item in report.items:
             if item.ok:

@@ -77,10 +77,13 @@ from repro.service.backends import (
     ShardTask,
     TaskOutcome,
     ThreadBackend,
+    WaveTask,
+    _outcome_of,
 )
 from repro.service.batch import (
     BatchItem,
     BatchReport,
+    WaveSizeController,
     batch_keys,
     dedup_units,
 )
@@ -169,6 +172,16 @@ class ShardedQueryService:
     cache_capacity / max_cached_route_nodes:
         Result-cache bounds, as in the flat service.  Cached entries are
         already translated to global node ids.
+    wave_kernels:
+        Whether the scatter plan groups same-shard attempts into
+        :class:`~repro.service.backends.WaveTask` waves (default True) —
+        one submission and, on a process backend, one pickle+IPC round
+        trip per shard wave instead of one per attempt.  Results are
+        identical either way; waves that break outright fall back to
+        per-query tasks.
+    wave_size:
+        Fixed wave size, or ``None`` (default) for adaptive sizing via
+        :class:`~repro.service.batch.WaveSizeController`.
     """
 
     def __init__(
@@ -181,6 +194,8 @@ class ShardedQueryService:
         default_workers: int = DEFAULT_WORKERS,
         max_cached_route_nodes: int | None = None,
         world: MutableWorld | None = None,
+        wave_kernels: bool = True,
+        wave_size: int | None = None,
     ) -> None:
         if default_workers < 1:
             raise QueryError(f"default_workers must be >= 1, got {default_workers}")
@@ -202,6 +217,13 @@ class ShardedQueryService:
         self._cache = ResultCache(cache_capacity, max_route_nodes=max_cached_route_nodes)
         self._stats = ServiceStats()
         self._update_lock = threading.Lock()
+        self._wave_kernels = wave_kernels
+        self._wave_controller = (
+            WaveSizeController(wave_size, fixed=True)
+            if wave_size is not None
+            else WaveSizeController()
+        )
+        self._wave_controller.retarget(self._graph)
 
         # The world already materialised every cell's subgraph, tables
         # and index — shard engines assemble from those parts and pay
@@ -274,6 +296,25 @@ class ShardedQueryService:
     def shards(self) -> tuple[Shard, ...]:
         """One :class:`Shard` per cell, in cell order."""
         return self._shards
+
+    @property
+    def wave_size(self) -> int:
+        """The wave size the next scatter will chunk shard groups by."""
+        return self._wave_controller.wave_size
+
+    def tune_waves(self, arrival_qps: float) -> int:
+        """Feed the arrival-rate estimate into adaptive wave sizing.
+
+        Same contract as the flat service's ``tune_waves``: called by the
+        async front end whenever its EWMA updates; returns the wave size
+        now in effect.
+        """
+        self._wave_controller.observe(arrival_qps)
+        return self._wave_controller.wave_size
+
+    def wave_policy(self) -> dict:
+        """The adaptive-sizing policy snapshot (``scheduling_stats``)."""
+        return self._wave_controller.describe()
 
     @property
     def num_shards(self) -> int:
@@ -408,6 +449,8 @@ class ShardedQueryService:
         serving plane (caller holds the update lock)."""
         world = self._world
         self._graph = world.graph
+        # Density may have shifted: re-derive the grown wave size.
+        self._wave_controller.retarget(self._graph)
 
         patches: list[PartPatch] = []
         repaired = set(update.repaired_cells)
@@ -700,7 +743,7 @@ class ShardedQueryService:
                     )
                 )
                 owners.append((position, False))
-            outcomes = self._backend.run_tasks(wave, workers=effective)
+            outcomes = self._scatter(wave, algorithm, params, deadline, workers=effective)
             self._record_tasks(wave, outcomes)
 
             cell_outcomes: dict[int, TaskOutcome] = {}
@@ -759,6 +802,84 @@ class ShardedQueryService:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _scatter(
+        self,
+        tasks: list[ShardTask],
+        algorithm: str,
+        params: dict,
+        deadline: Deadline | None,
+        workers: int | None,
+    ) -> list[TaskOutcome]:
+        """Dispatch the scatter plan, waving same-shard attempts together.
+
+        Groups the plan's tasks by shard key (cell engines and the
+        cross-cell assembly alike), chunks each group by the adaptive
+        wave size, and ships every multi-member chunk as one
+        :class:`~repro.service.backends.WaveTask` through ``submit_wave``
+        — one submission (and, on a process pool, one pickle+IPC round
+        trip) per shard wave instead of one per attempt.  Singleton
+        chunks go per-query.  All three containment tiers are preserved:
+        a poisoned member errors its own slot inside the kernel, a
+        kernel-level failure re-runs the wave member by member worker-
+        side (:func:`~repro.service.backends.run_wave_on_engine`), and a
+        wave whose *submission* breaks outright is resubmitted here as
+        the original per-query ShardTasks.  Outcomes return in task
+        order regardless of dispatch shape.
+        """
+        if not (self._wave_kernels and len(tasks) > 1):
+            return self._backend.run_tasks(tasks, workers=workers)
+
+        groups: dict[str, list[int]] = {}
+        for position, task in enumerate(tasks):
+            groups.setdefault(task.shard, []).append(position)
+
+        capacity = self._wave_controller.wave_size
+        dispatches: list[tuple[list[int], object, bool]] = []
+        for shard_key, positions in groups.items():
+            for lo in range(0, len(positions), capacity):
+                chunk = positions[lo : lo + capacity]
+                if len(chunk) == 1:
+                    dispatches.append(
+                        ([chunk[0]], self._backend.submit_task(tasks[chunk[0]]), False)
+                    )
+                    self._stats.record_wave_solo()
+                else:
+                    wave = WaveTask.build(
+                        shard_key,
+                        [tasks[i].query for i in chunk],
+                        algorithm,
+                        params,
+                        deadline=deadline,
+                    )
+                    dispatches.append((chunk, self._backend.submit_wave(wave), True))
+                    self._stats.record_wave(len(chunk), capacity)
+
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        broken: list[int] = []
+        for chunk, future, is_wave in dispatches:
+            if not is_wave:
+                outcomes[chunk[0]] = _outcome_of(future)
+                continue
+            try:
+                wave_outcomes = future.result()
+            except Exception:  # noqa: BLE001 - broken wave, degrade per query
+                broken.extend(chunk)
+                continue
+            if not isinstance(wave_outcomes, list) or len(wave_outcomes) != len(chunk):
+                broken.extend(chunk)
+                continue
+            for position, outcome in zip(chunk, wave_outcomes):
+                outcomes[position] = outcome
+
+        if broken:
+            self._stats.record_wave_solo(len(broken))
+            retried = self._backend.run_tasks(
+                [tasks[i] for i in broken], workers=workers
+            )
+            for position, outcome in zip(broken, retried):
+                outcomes[position] = outcome
+        return outcomes  # type: ignore[return-value]
+
     def _record_tasks(
         self, tasks: Sequence[ShardTask], outcomes: Sequence[TaskOutcome]
     ) -> None:

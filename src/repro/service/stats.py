@@ -83,6 +83,11 @@ class StatsSnapshot:
     #: ``misses`` / ``assignments`` / ``dead_worker_fallbacks``); empty
     #: for in-process backends, which have nothing to pin.
     pinning: dict = field(default_factory=dict)
+    #: Wave-dispatch counters (``formed`` / ``members`` / ``capacity`` /
+    #: ``solo_fallbacks`` plus the derived ``mean_members`` and
+    #: ``fill_rate``); empty for services that never formed a wave.
+    #: Additive optional field of ``kor.service_stats.v1``.
+    waves: dict = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -154,6 +159,13 @@ class StatsSnapshot:
                 f"{name}={count}" for name, count in sorted(self.pinning.items())
             )
             line += f"; pinning: {pins}"
+        if self.waves:
+            line += (
+                f"; waves: {self.waves.get('formed', 0)} formed, "
+                f"mean {self.waves.get('mean_members', 0.0):.1f} members, "
+                f"fill {100.0 * self.waves.get('fill_rate', 0.0):.0f}%, "
+                f"{self.waves.get('solo_fallbacks', 0)} solo"
+            )
         return line
 
 
@@ -192,6 +204,10 @@ class ServiceStats:
         self._slo_seconds = slo_seconds
         self._slo_violations = 0
         self._endpoints: dict[str, dict[str, int]] = {}
+        self._waves_formed = 0
+        self._wave_members = 0
+        self._wave_capacity = 0
+        self._wave_solo = 0
 
     def record_query(self, latency_seconds: float, cached: bool) -> None:
         """One answered query (hit or computed)."""
@@ -269,6 +285,23 @@ class ServiceStats:
             if depth > self._queue_depth_peak:
                 self._queue_depth_peak = depth
 
+    def record_wave(self, members: int, capacity: int) -> None:
+        """Account one wave dispatched with *members* queries aboard.
+
+        *capacity* is the wave size the scheduler could have filled to;
+        the ratio of the two sums is the fill rate the snapshot exposes.
+        """
+        with self._lock:
+            self._waves_formed += 1
+            self._wave_members += members
+            self._wave_capacity += capacity
+
+    def record_wave_solo(self, count: int = 1) -> None:
+        """Account *count* queries dispatched per-query instead of waved
+        (singleton shard groups and broken-wave resubmissions)."""
+        with self._lock:
+            self._wave_solo += count
+
     def snapshot(
         self,
         pinning: Mapping[str, int] | None = None,
@@ -309,6 +342,26 @@ class ServiceStats:
                     self._queue_depth_peak, queue_depth_peak or 0
                 ),
                 pinning=dict(pinning) if pinning else {},
+                waves=(
+                    {
+                        "formed": self._waves_formed,
+                        "members": self._wave_members,
+                        "capacity": self._wave_capacity,
+                        "solo_fallbacks": self._wave_solo,
+                        "mean_members": (
+                            self._wave_members / self._waves_formed
+                            if self._waves_formed
+                            else 0.0
+                        ),
+                        "fill_rate": (
+                            self._wave_members / self._wave_capacity
+                            if self._wave_capacity
+                            else 0.0
+                        ),
+                    }
+                    if self._waves_formed or self._wave_solo
+                    else {}
+                ),
             )
 
     def reset(self) -> None:
@@ -329,3 +382,7 @@ class ServiceStats:
             self._queue_depth_peak = 0
             self._slo_violations = 0
             self._endpoints.clear()
+            self._waves_formed = 0
+            self._wave_members = 0
+            self._wave_capacity = 0
+            self._wave_solo = 0

@@ -306,3 +306,109 @@ class TestBucketIndexDeterminism:
             queue.bucket_index(float("inf"))
         with pytest.raises(ValueError):
             queue.bucket_indices(np.array([1.0, float("nan")]))
+
+
+# ----------------------------------------------------------------------
+# the vectorized Strategy-1 jump tail
+# ----------------------------------------------------------------------
+
+@st.composite
+def _tie_hammered_instance(draw):
+    """A small graph whose edge costs mostly collide (weights drawn from
+    ``{1.0, 2.0}`` with 1.0 twice as likely), plus 2-5 queries — the
+    nastiest regime for the jump argmin, where many candidates share the
+    exact same ``BS(sigma)`` and only the tie rule picks the winner."""
+    from repro.core.query import KORQuery
+    from repro.graph.builder import GraphBuilder
+
+    from tests.strategies import KEYWORD_POOL
+
+    n = draw(st.integers(3, 7))
+    builder = GraphBuilder()
+    for _ in range(n):
+        keywords = draw(
+            st.lists(st.sampled_from(KEYWORD_POOL), min_size=0, max_size=2, unique=True)
+        )
+        builder.add_node(keywords=keywords)
+    added = False
+    for u in range(n):
+        for v in range(n):
+            if u != v and draw(st.booleans()):
+                objective = draw(st.sampled_from((1.0, 1.0, 2.0)))
+                budget = draw(st.sampled_from((1.0, 1.0, 2.0)))
+                builder.add_edge(u, v, objective, budget)
+                added = True
+    if not added:
+        builder.add_edge(0, 1, 1.0, 1.0)
+    graph = builder.build()
+
+    present = sorted(set(graph.keyword_table.words))
+    queries = []
+    for _ in range(draw(st.integers(2, 5))):
+        keywords = (
+            tuple(
+                draw(
+                    st.lists(
+                        st.sampled_from(present), min_size=1, max_size=3, unique=True
+                    )
+                )
+            )
+            if present
+            else ()
+        )
+        queries.append(
+            KORQuery(
+                draw(st.integers(0, n - 1)),
+                draw(st.integers(0, n - 1)),
+                keywords,
+                draw(st.sampled_from((2.0, 4.0, 8.0))),
+            )
+        )
+    return graph, queries
+
+
+class TestJumpBlockDifferential:
+    """``jump_candidates_block`` must equal N independent
+    ``jump_candidate`` calls — for every job, at every lockstep step of a
+    real wave, under hammered ties."""
+
+    @given(instance=_tie_hammered_instance())
+    @settings(max_examples=40, deadline=None)
+    def test_block_equals_scalar_under_tie_hammering(self, instance):
+        from repro.core import kernels
+        from repro.core.engine import KOREngine
+
+        graph, queries = instance
+        engine = KOREngine(graph)
+        original = kernels.jump_candidates_block
+
+        def verifying(kctx, jobs):
+            block = original(kctx, jobs)
+            for (search, label), got in zip(jobs, block):
+                if not search.use_strategy1 or label.mask == search.full_mask:
+                    expected = None
+                else:
+                    expected = search.ctx.jump_candidate(label)
+                assert got == expected, (
+                    f"block jump diverged at node {label.node}: "
+                    f"{got} != {expected}"
+                )
+            return block
+
+        kernels.jump_candidates_block = verifying
+        try:
+            for algorithm in sorted(KERNEL_WAVE_ALGORITHMS):
+                got = wave_outcomes(engine, queries, algorithm, {})
+                assert got == scalar_outcomes(engine, queries, algorithm, {})
+        finally:
+            kernels.jump_candidates_block = original
+
+    def test_empty_and_ineligible_jobs_return_none_rows(self):
+        """Strategy-1-off members and fully-covered labels yield None
+        without touching the tables."""
+        from repro.core import kernels
+        from repro.core.engine import KOREngine
+
+        engine, queries = random_instance(0)
+        kctx = KernelContext(engine.graph, engine.tables)
+        assert kernels.jump_candidates_block(kctx, []) == []

@@ -1,0 +1,228 @@
+"""Shard-aware wave routing: differential, observability and chaos.
+
+The sharded scatter now groups same-shard attempts into
+:class:`~repro.service.backends.WaveTask` waves (one submission per
+shard wave instead of one per attempt).  The contract is the same as
+the flat tier's kernel waves: **fingerprint identity** — routes,
+scores, failure reasons and per-label search statistics must match the
+per-query ShardTask path exactly, for all six algorithms, on every
+backend — plus the three containment tiers (poisoned member / kernel
+fallback / broken-wave per-query resubmission) and the new wave
+occupancy counters in ``ServiceStats``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ALGORITHMS
+from repro.service import ProcessBackend
+from repro.service.batch import (
+    DEFAULT_WAVE_SIZE,
+    MAX_WAVE_SIZE,
+    WaveSizeController,
+)
+from repro.service.faults import FaultPlan, FaultRule, injected
+from repro.service.sharding import ShardedQueryService
+
+from tests.core.test_kernels import STAT_FIELDS
+from tests.service.test_differential import fingerprint, random_instance
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def _snapshot_view(service):
+    """Routing/merge counters with the per-service key prefix stripped
+    (two services over the same graph must agree on these)."""
+    snapshot = service.stats.snapshot()
+    strip = lambda d: {k.split("/", 1)[-1]: v for k, v in d.items()}  # noqa: E731
+    return (
+        strip(snapshot.shard_tasks),
+        strip(snapshot.shard_errors),
+        dict(snapshot.merge_wins),
+    )
+
+
+def _report_view(report):
+    """Fingerprints plus the per-label search counters, slot by slot."""
+    view = []
+    for item in report.items:
+        if item.error is not None:
+            view.append((item.index, "error", type(item.error).__name__))
+        else:
+            view.append(
+                (
+                    item.index,
+                    fingerprint(item.result),
+                    tuple(getattr(item.result.stats, f) for f in STAT_FIELDS),
+                    item.result.degraded,
+                )
+            )
+    return view
+
+
+class TestShardedWaveDifferential:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_waved_scatter_matches_per_query_scatter(self, algorithm, service_backend):
+        """Wave-routed results == per-query ShardTask results, down to
+        the per-label statistics and the shard/merge accounting."""
+        for seed in (0, 1):
+            engine, queries = random_instance(seed)
+            waved = ShardedQueryService(
+                engine.graph, num_cells=2, backend=service_backend, cache_capacity=0
+            )
+            per_query = ShardedQueryService(
+                engine.graph,
+                num_cells=2,
+                backend=service_backend,
+                cache_capacity=0,
+                wave_kernels=False,
+            )
+            try:
+                waved_report = waved.execute(queries, algorithm=algorithm, workers=3)
+                per_query_report = per_query.execute(
+                    queries, algorithm=algorithm, workers=3
+                )
+                assert _report_view(waved_report) == _report_view(per_query_report)
+                assert _snapshot_view(waved) == _snapshot_view(per_query)
+            finally:
+                waved.close()
+                per_query.close()
+
+    def test_single_cell_waves_match_flat_engine(self, service_backend):
+        """``num_cells=1``: the waved scatter still answers exactly like
+        the flat engine (every attempt is cell-local, one group)."""
+        engine, queries = random_instance(4)
+        service = ShardedQueryService(
+            engine.graph, num_cells=1, backend=service_backend, cache_capacity=0
+        )
+        try:
+            report = service.execute(queries, workers=3)
+            for item in report.items:
+                assert item.error is None
+                assert fingerprint(item.result) == fingerprint(
+                    engine.run(item.query)
+                )
+        finally:
+            service.close()
+
+
+class TestWaveObservability:
+    def test_wave_counters_fill_and_reset(self, service_backend):
+        engine, queries = random_instance(2)
+        service = ShardedQueryService(
+            engine.graph, num_cells=2, backend=service_backend, cache_capacity=0
+        )
+        try:
+            service.execute(queries, workers=3)
+            waves = service.stats.snapshot().waves
+            # 8 queries over 2 cells + crosscell: at least the crosscell
+            # group (every unit has a cross attempt) forms a real wave.
+            assert waves["formed"] >= 1
+            assert waves["members"] >= 2 * waves["formed"]
+            assert waves["capacity"] >= waves["members"]
+            assert 0.0 < waves["fill_rate"] <= 1.0
+            assert waves["mean_members"] == waves["members"] / waves["formed"]
+            assert "waves:" in service.stats.snapshot().describe()
+            service.stats.reset()
+            assert service.stats.snapshot().waves == {}
+        finally:
+            service.close()
+
+    def test_per_query_mode_forms_no_waves(self, service_backend):
+        engine, queries = random_instance(2)
+        service = ShardedQueryService(
+            engine.graph,
+            num_cells=2,
+            backend=service_backend,
+            cache_capacity=0,
+            wave_kernels=False,
+        )
+        try:
+            service.execute(queries, workers=3)
+            assert service.stats.snapshot().waves == {}
+        finally:
+            service.close()
+
+
+class TestAdaptiveWaveSizing:
+    def test_low_rate_keeps_base_size(self):
+        controller = WaveSizeController()
+        controller.observe(1.0)
+        assert controller.wave_size == DEFAULT_WAVE_SIZE
+
+    def test_high_rate_on_dense_graph_grows_within_cap(self):
+        class DenseGraph:
+            num_nodes = 100
+            num_edges = 1600  # mean out-degree 16 = 4x the reference
+
+        controller = WaveSizeController()
+        controller.retarget(DenseGraph())
+        controller.observe(500.0)
+        assert controller.wave_size == min(MAX_WAVE_SIZE, DEFAULT_WAVE_SIZE * 4)
+        # The rate dropping back shrinks the wave again.
+        controller.observe(0.0)
+        assert controller.wave_size == DEFAULT_WAVE_SIZE
+
+    def test_sparse_graph_never_shrinks_below_base(self):
+        class SparseGraph:
+            num_nodes = 100
+            num_edges = 100  # mean out-degree 1
+
+        controller = WaveSizeController()
+        controller.retarget(SparseGraph())
+        controller.observe(1e9)
+        assert controller.wave_size == DEFAULT_WAVE_SIZE
+
+    def test_fixed_size_ignores_the_signals(self):
+        class DenseGraph:
+            num_nodes = 10
+            num_edges = 1000
+
+        controller = WaveSizeController(8, fixed=True)
+        controller.retarget(DenseGraph())
+        controller.observe(1e9)
+        assert controller.wave_size == 8
+        assert controller.describe()["mode"] == "fixed"
+
+    def test_service_tune_waves_round_trip(self, service_backend):
+        engine, _queries = random_instance(0)
+        service = ShardedQueryService(
+            engine.graph, num_cells=2, backend=service_backend
+        )
+        try:
+            assert service.wave_size == DEFAULT_WAVE_SIZE
+            size = service.tune_waves(1000.0)
+            assert size == service.wave_size >= DEFAULT_WAVE_SIZE
+            policy = service.wave_policy()
+            assert policy["mode"] == "adaptive"
+            assert policy["arrival_qps"] == 1000.0
+            assert policy["wave_size"] == size
+        finally:
+            service.close()
+
+
+class TestWaveChaos:
+    def test_kill_worker_mid_shard_wave_degraded_or_identical(self):
+        """SIGKILL under a shard wave: the dead-worker retry (and, past
+        it, the per-query resubmission tier) must deliver every slot an
+        answer that is fingerprint-identical or flagged degraded."""
+        engine, queries = random_instance(3)
+        baseline = [fingerprint(engine.run(q)) for q in queries]
+        backend = ProcessBackend(workers=2)
+        try:
+            service = ShardedQueryService(
+                engine.graph, num_cells=2, backend=backend, cache_capacity=0
+            )
+            plan = FaultPlan([FaultRule(kind="kill_worker", times=1)])
+            with injected(plan):
+                report = service.execute(queries, workers=3)
+            assert plan.fired() == {0: 1}
+            for item, expected in zip(report.items, baseline):
+                assert item.error is None
+                if item.result.degraded:
+                    assert item.result.feasible
+                else:
+                    assert fingerprint(item.result) == expected
+        finally:
+            backend.close()
